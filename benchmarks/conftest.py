@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` file regenerates one table or figure of the paper.  The
+default configuration covers all 11 benchmarks at "test" scale with
+moderate FI sample counts so the whole harness completes in minutes;
+set the environment variables below for a fuller (slower) run:
+
+    REPRO_SCALE=small|default   benchmark input scale
+    REPRO_FI_SAMPLES=3000       FI samples per program (paper: 3000)
+    REPRO_PER_INST_RUNS=100     FI runs per instruction (paper: 100)
+
+Rendered reports are printed (visible with ``-s``) and written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES
+from repro.harness import ExperimentConfig, Workspace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _int_env(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def harness_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=os.environ.get("REPRO_SCALE", "test"),
+        fi_samples=_int_env("REPRO_FI_SAMPLES", 400),
+        model_samples=_int_env("REPRO_FI_SAMPLES", 400),
+        per_instruction_runs=_int_env("REPRO_PER_INST_RUNS", 25),
+        max_instructions=_int_env("REPRO_MAX_INSTRUCTIONS", 60),
+        protection_fi_samples=_int_env("REPRO_PROTECTION_SAMPLES", 300),
+        benchmarks=BENCHMARK_NAMES,
+    )
+
+
+@pytest.fixture(scope="session")
+def workspace() -> Workspace:
+    return Workspace(harness_config())
+
+
+@pytest.fixture(scope="session")
+def fig8_workspace() -> Workspace:
+    """Fig. 8 runs 6 protected FI campaigns per program; keep it to a
+    representative subset by default (REPRO_FIG8_ALL=1 for all 11)."""
+    config = harness_config()
+    if not os.environ.get("REPRO_FIG8_ALL"):
+        config = ExperimentConfig(
+            scale=config.scale,
+            fi_samples=config.fi_samples,
+            model_samples=config.model_samples,
+            per_instruction_runs=config.per_instruction_runs,
+            max_instructions=config.max_instructions,
+            protection_fi_samples=config.protection_fi_samples,
+            benchmarks=("pathfinder", "hotspot", "nw", "bfs_parboil"),
+        )
+    return Workspace(config)
+
+
+def publish(name: str, rendered: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")

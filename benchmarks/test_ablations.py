@@ -1,0 +1,21 @@
+"""Ablation bench: the design choices DESIGN.md §5 calls out, plus the
+paper's optional extensions (Sec. VII-A) and the crash-prediction
+extension, each measured as overall-SDC MAE against FI."""
+
+from conftest import publish
+
+from repro.harness.ablations import run_ablations
+
+
+def test_ablations(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_ablations, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("ablations", result.render())
+    maes = result.mean_absolute_errors
+    # The shipped configuration must not be worse than dropping either
+    # design choice (allow noise).
+    assert maes["full"] <= maes["no-minmax-joint"] + 0.03
+    assert maes["full"] <= maes["no-silent-discount"] + 0.03
+    # The crash-prediction extension must track FI crash rates.
+    assert result.crash_mae < 0.15

@@ -1,0 +1,20 @@
+"""Regenerates Fig. 5: overall SDC — FI vs TRIDENT vs fs+fc vs fs.
+
+Expected shape (paper: FI 13.59%, TRIDENT 14.83%, fs+fc 33.85%,
+fs 23.76%): TRIDENT tracks FI; both simpler models drift far higher.
+"""
+
+from conftest import publish
+
+from repro.harness import run_fig5
+
+
+def test_fig5(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig5, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("fig5", result.render())
+    errors = result.mean_absolute_errors
+    assert errors["trident"] < errors["fs+fc"]
+    assert errors["trident"] < errors["fs"]
+    assert result.means["fs+fc"] > result.means["trident"]

@@ -1,0 +1,23 @@
+"""Regenerates Fig. 6: computation spent to predict SDC probabilities.
+
+Expected shape: FI time linear in samples (6a) and in instruction count
+(6b); TRIDENT near-flat in both (paper: 2.37x faster at 1000 samples,
+15.13x at 7000).
+"""
+
+from conftest import publish
+
+from repro.harness import run_fig6
+
+
+def test_fig6(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig6, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("fig6", result.render())
+    fi = result.series_a.fi_seconds
+    trident = result.series_a.trident_seconds
+    assert fi[-1] / fi[0] > 10      # linear growth over 500 -> 7000
+    assert trident[-1] < trident[0] * 4  # near-flat
+    index_3000 = result.series_a.samples.index(3000)
+    assert fi[index_3000] > trident[index_3000]

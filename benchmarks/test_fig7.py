@@ -1,0 +1,17 @@
+"""Regenerates Fig. 7: per-benchmark time for all per-instruction SDC
+probabilities (TRIDENT vs FI-100) plus memory-dependency pruning rates
+(paper average: 61.87% pruned)."""
+
+from conftest import publish
+
+from repro.harness import run_fig7
+
+
+def test_fig7(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig7, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("fig7", result.render())
+    for row in result.rows:
+        assert row.fi100_seconds > row.trident_seconds
+    assert result.average_pruned_fraction > 0.3

@@ -1,0 +1,22 @@
+"""Regenerates Fig. 8: SDC reduction from selective duplication at 1/3
+and 2/3 of the full-duplication overhead, for all three models.
+
+Expected shape (paper: 64%/64%/40% at the low budget, 90%/87%/74% at
+the high): TRIDENT >= fs+fc > fs, and the high budget dominates.
+"""
+
+from conftest import publish
+
+from repro.harness import OVERHEAD_LEVELS, run_fig8
+
+
+def test_fig8(benchmark, fig8_workspace):
+    result = benchmark.pedantic(
+        run_fig8, args=(fig8_workspace,), iterations=1, rounds=1,
+    )
+    publish("fig8", result.render())
+    low, high = OVERHEAD_LEVELS
+    reductions = result.average_reduction
+    assert reductions[("trident", low)] >= reductions[("fs", low)] - 0.05
+    assert reductions[("trident", high)] >= reductions[("trident", low)] - 0.05
+    assert reductions[("trident", high)] > 0.5

@@ -1,0 +1,18 @@
+"""Regenerates Fig. 9: overall SDC — FI vs TRIDENT vs ePVF vs PVF.
+
+Expected shape (paper MAEs: TRIDENT 4.75%, ePVF 36.78%, PVF 75.19%):
+PVF saturates near 100%, ePVF over-predicts, TRIDENT tracks FI.
+"""
+
+from conftest import publish
+
+from repro.harness import run_fig9
+
+
+def test_fig9(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig9, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("fig9", result.render())
+    maes = result.mean_absolute_errors
+    assert maes["trident"] < maes["epvf"] < maes["pvf"]

@@ -1,0 +1,36 @@
+"""Input-sensitivity bench (the paper's future work, Sec. VII-B):
+SDC probabilities move across program inputs; TRIDENT, rebuilt per
+input, must track the per-input values."""
+
+import os
+
+from conftest import harness_config, publish
+
+from repro.harness import ExperimentConfig, Workspace
+from repro.harness.inputs import run_input_sensitivity
+
+
+def test_input_sensitivity(benchmark):
+    base = harness_config()
+    config = ExperimentConfig(
+        scale=base.scale,
+        fi_samples=base.fi_samples,
+        model_samples=base.model_samples,
+        per_instruction_runs=base.per_instruction_runs,
+        max_instructions=base.max_instructions,
+        protection_fi_samples=base.protection_fi_samples,
+        benchmarks=("pathfinder", "nw", "bfs_parboil", "hotspot"),
+    )
+    workspace = Workspace(config)
+    result = benchmark.pedantic(
+        run_input_sensitivity, args=(workspace,),
+        kwargs={"inputs": 3}, iterations=1, rounds=1,
+    )
+    publish("inputs", result.render())
+    # SDC probability is input-dependent (Di Leo et al.): at least one
+    # benchmark must show a visible spread.
+    assert any(row.fi_spread > 0.02 for row in result.rows)
+    # The per-input model error stays in the same band as the
+    # single-input experiments.
+    avg_mae = sum(r.per_input_mae for r in result.rows) / len(result.rows)
+    assert avg_mae < 0.25

@@ -1,0 +1,29 @@
+"""Optimization-level bench (extension): SDC at -O0 memory form vs
+-O2 SSA register form, measured by FI and predicted by TRIDENT."""
+
+from conftest import harness_config, publish
+
+from repro.harness import ExperimentConfig, Workspace
+from repro.harness.optlevels import run_optlevels
+
+
+def test_optlevels(benchmark):
+    base = harness_config()
+    config = ExperimentConfig(
+        scale=base.scale,
+        fi_samples=base.fi_samples,
+        model_samples=base.model_samples,
+        benchmarks=("pathfinder", "nw", "hotspot", "libquantum"),
+    )
+    workspace = Workspace(config)
+    result = benchmark.pedantic(
+        run_optlevels, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("optlevels", result.render())
+    for row in result.rows:
+        # mem2reg must shrink the dynamic instruction count...
+        assert row.dynamic_counts[2] < row.dynamic_counts[0]
+        assert row.promoted > 0
+    # ...and the model must stay usable on both forms.
+    assert result.mae[0] < 0.2
+    assert result.mae[2] < 0.3

@@ -1,0 +1,15 @@
+"""Regenerates Table I: characteristics of the benchmarks."""
+
+from conftest import publish
+
+from repro.harness import run_table1
+
+
+def test_table1(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_table1, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("table1", result.render())
+    assert len(result.rows) == len(workspace.config.benchmarks)
+    for row in result.rows:
+        assert row.dynamic_instructions > row.static_instructions

@@ -1,0 +1,23 @@
+"""Regenerates Table II: per-instruction p-values (paired t-tests).
+
+Expected shape (paper: 3/11 rejections for TRIDENT vs 9/11 and 7/11 for
+the simpler models): TRIDENT's per-instruction predictions are the
+least distinguishable from FI among the models with control-flow
+modeling enabled.
+"""
+
+from conftest import publish
+
+from repro.harness import run_table2
+
+
+def test_table2(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_table2, args=(workspace,), iterations=1, rounds=1,
+    )
+    publish("table2", result.render())
+    n = len(result.rows)
+    assert result.rejections["trident"] <= result.rejections["fs+fc"]
+    for row in result.rows:
+        for p_value in row.p_values.values():
+            assert 0.0 <= p_value <= 1.0

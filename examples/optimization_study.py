@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Study SDC behaviour across optimization levels (extension).
+
+The paper evaluates LLVM -O2 binaries; the eDSL emits -O0 style
+alloca/load/store form.  The built-in optimizer (constant folding, DCE,
+CFG simplification, mem2reg SSA promotion) produces the register form,
+so both can be measured and modeled.
+
+Run:  python examples/optimization_study.py
+"""
+
+from repro import FaultInjector, Trident, build_module, optimize
+from repro.profiling import ProfilingInterpreter
+
+
+def main() -> None:
+    name = "pathfinder"
+    base = build_module(name, scale="test")
+    print(f"program: {name}\n")
+    print(f"{'level':>6s} {'static':>7s} {'dynamic':>8s} {'phis':>5s} "
+          f"{'FI SDC':>8s} {'model':>7s} {'FI crash':>9s}")
+    for level in (0, 1, 2):
+        module, report = optimize(base, level)
+        phis = sum(1 for i in module.instructions() if i.opcode == "phi")
+        profile, _ = ProfilingInterpreter(module).run()
+        injector = FaultInjector(module)
+        campaign = injector.campaign(600, seed=1)
+        model = Trident(module, profile)
+        predicted = model.overall_sdc(samples=600, seed=2)
+        print(f"    O{level} {module.num_instructions:7d} "
+              f"{injector.golden.dynamic_count:8d} {phis:5d} "
+              f"{campaign.sdc_probability:8.2%} {predicted:7.2%} "
+              f"{campaign.crash_probability:9.2%}")
+    print(
+        "\nmem2reg moves loop state from memory into SSA registers: the\n"
+        "program shrinks, and error propagation shifts from the memory\n"
+        "sub-model (fm) to long register chains (fs) — the form the\n"
+        "paper's -O2 evaluation operates on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: predict a program's SDC probabilities without fault
+injection, then validate against an actual FI campaign.
+
+This is the workflow of Fig. 1b: program + input + output instructions
+in, per-instruction and overall SDC probabilities out.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FaultInjector, Trident, build_module
+from repro.ir.printer import format_instruction
+
+
+def main() -> None:
+    # 1. Build one of the Table I benchmarks (Pathfinder, the paper's
+    #    running example) at a small scale.
+    module = build_module("pathfinder", scale="small")
+    print(f"program: {module.name} "
+          f"({module.num_instructions} static instructions)")
+
+    # 2. Build TRIDENT: one profiling run, no fault injection.
+    model = Trident.build(module)
+    print(f"profiled {model.profile.dynamic_count} dynamic instructions "
+          f"in {model.profile.profiling_seconds * 1000:.1f} ms")
+
+    # 3. Overall SDC probability of the program (Algorithm 1, sampled
+    #    like the paper's 3000-instruction experiments).
+    overall = model.overall_sdc(samples=3000, seed=0)
+    print(f"\npredicted overall SDC probability: {overall * 100:.2f}%")
+
+    # 4. Per-instruction SDC probabilities: the top-5 most SDC-prone.
+    sdc_map = model.sdc_map()
+    print("\nmost SDC-prone instructions:")
+    for iid in sorted(sdc_map, key=sdc_map.get, reverse=True)[:5]:
+        inst = module.instruction(iid)
+        print(f"  {sdc_map[iid] * 100:6.2f}%  "
+              f"{format_instruction(inst)}")
+
+    # 5. Validate against fault injection (the expensive ground truth
+    #    TRIDENT replaces).
+    injector = FaultInjector(module)
+    campaign = injector.campaign(1000, seed=0)
+    print(f"\nFI ground truth ({campaign.total} injections):")
+    print(f"  SDC    {campaign.sdc_probability * 100:6.2f}% "
+          f"(± {campaign.margin_of_error() * 100:.2f}%)")
+    print(f"  crash  {campaign.crash_probability * 100:6.2f}%")
+    print(f"  benign {campaign.benign_probability * 100:6.2f}%")
+    print(f"\nmodel-vs-FI gap: "
+          f"{abs(overall - campaign.sdc_probability) * 100:.2f} points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Selective instruction duplication guided by TRIDENT (Sec. VI).
+
+Given a performance-overhead budget (a fraction of the full-duplication
+overhead), choose the most SDC-prone instructions with a 0-1 knapsack,
+duplicate them with detector checks, and measure the protected program's
+SDC probability with fault injection.
+
+Run:  python examples/selective_protection.py
+"""
+
+from repro import build_module
+from repro.profiling import ProfilingInterpreter
+from repro.protection import evaluate_protection
+
+
+def main() -> None:
+    module = build_module("hotspot", scale="test")
+    profile, _outputs = ProfilingInterpreter(module).run()
+    print(f"program: {module.name}")
+
+    print(f"\n{'model':8s} {'budget':>7s} {'overhead':>9s} {'#insts':>7s} "
+          f"{'SDC before':>11s} {'SDC after':>10s} {'reduction':>10s} "
+          f"{'detected':>9s}")
+    for model_name in ("trident", "fs+fc", "fs"):
+        for budget in (1 / 3, 2 / 3):
+            outcome = evaluate_protection(
+                module, profile, model_name, budget,
+                fi_samples=600, seed=7,
+            )
+            print(
+                f"{model_name:8s} {budget:7.0%} "
+                f"{outcome.measured_overhead:9.1%} "
+                f"{len(outcome.selected_iids):7d} "
+                f"{outcome.baseline_sdc:11.2%} "
+                f"{outcome.protected_sdc:10.2%} "
+                f"{outcome.sdc_reduction:10.0%} "
+                f"{outcome.protected.detected_probability:9.2%}"
+            )
+
+    print(
+        "\nThe paper's Fig. 8 shape: TRIDENT-guided protection achieves "
+        "the largest SDC reduction\nat a given budget; the fs-only model "
+        "trails because it cannot rank control-flow-\nand memory-carried "
+        "SDC contributions."
+    )
+
+
+if __name__ == "__main__":
+    main()

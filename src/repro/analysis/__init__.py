@@ -1,0 +1,43 @@
+"""Static analyses over the mini-IR: CFG, dominance, loops, control
+dependence, and def-use propagation paths."""
+
+from .cfg import (
+    exit_blocks,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+)
+from .controldep import ControlDep, ControlDependence
+from .ddg import (
+    PathEnumerator,
+    PropagationPath,
+    TERMINAL_BRANCH,
+    TERMINAL_DEAD,
+    TERMINAL_DETECT,
+    TERMINAL_OUTPUT,
+    TERMINAL_RET,
+    TERMINAL_STORE,
+    TERMINAL_STORE_ADDR,
+    TERMINAL_TRUNCATED,
+    paths_from_instruction,
+    sequence_of,
+)
+from .dominators import (
+    VIRTUAL_EXIT,
+    compute_dominators,
+    compute_postdominators,
+    dominates,
+    immediate_dominators,
+)
+from .loops import Loop, LoopInfo, find_back_edges, find_natural_loops
+
+__all__ = [
+    "ControlDep", "ControlDependence", "Loop", "LoopInfo", "PathEnumerator",
+    "PropagationPath", "TERMINAL_BRANCH", "TERMINAL_DEAD", "TERMINAL_DETECT",
+    "TERMINAL_OUTPUT", "TERMINAL_RET", "TERMINAL_STORE",
+    "TERMINAL_STORE_ADDR", "TERMINAL_TRUNCATED", "VIRTUAL_EXIT",
+    "compute_dominators", "compute_postdominators", "dominates",
+    "exit_blocks", "find_back_edges", "find_natural_loops",
+    "immediate_dominators", "paths_from_instruction", "predecessor_map",
+    "reachable_blocks", "reverse_postorder", "sequence_of",
+]

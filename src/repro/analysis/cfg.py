@@ -1,0 +1,69 @@
+"""Control-flow graph utilities over mini-IR functions."""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+def successors(block: BasicBlock) -> list[BasicBlock]:
+    return block.successors
+
+
+def predecessor_map(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Predecessors of each block, computed in one pass."""
+    preds: dict[BasicBlock, list[BasicBlock]] = {
+        block: [] for block in function.blocks
+    }
+    for block in function.blocks:
+        for succ in block.successors:
+            preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    seen: set[BasicBlock] = set()
+    worklist = [function.entry]
+    while worklist:
+        block = worklist.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors)
+    return seen
+
+
+def reverse_postorder(function: Function) -> list[BasicBlock]:
+    """Blocks in reverse postorder from the entry (forward dataflow order)."""
+    order: list[BasicBlock] = []
+    seen: set[BasicBlock] = set()
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        seen.add(block)
+        while stack:
+            current, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry)
+    order.reverse()
+    return order
+
+
+def exit_blocks(function: Function) -> list[BasicBlock]:
+    """Blocks terminated by a ``ret``."""
+    from ..ir.instructions import Ret
+
+    return [
+        block for block in function.blocks if isinstance(block.terminator, Ret)
+    ]

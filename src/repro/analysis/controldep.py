@@ -1,0 +1,108 @@
+"""Control dependence: which blocks execute because of which branches.
+
+The control-flow sub-model (fc) asks, for a corrupted conditional branch,
+which store instructions may be incorrectly executed or skipped.  Those
+are exactly the stores in blocks control-dependent (transitively) on the
+branch.
+
+We use the classic Ferrante/Ottenstein/Warren definition: block ``w`` is
+control dependent on edge ``u -> v`` iff ``w`` post-dominates ``v`` and
+``w`` does not strictly post-dominate ``u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch
+from .dominators import compute_postdominators
+
+
+@dataclass(frozen=True)
+class ControlDep:
+    """One control dependence: the branch and the direction (True/False)."""
+
+    branch: Branch
+    direction: bool
+
+
+class ControlDependence:
+    """Control dependence relation for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._postdoms = compute_postdominators(function)
+        #: block -> list of ControlDep that directly govern it
+        self.direct: dict[BasicBlock, list[ControlDep]] = {
+            block: [] for block in function.blocks
+        }
+        #: branch -> direction -> set of directly dependent blocks
+        self.governed: dict[Branch, dict[bool, set[BasicBlock]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for block in self.function.blocks:
+            terminator = block.terminator
+            if not isinstance(terminator, Branch) or not terminator.is_conditional:
+                continue
+            self.governed[terminator] = {True: set(), False: set()}
+            for direction, target in (
+                (True, terminator.true_block),
+                (False, terminator.false_block),
+            ):
+                for candidate in self.function.blocks:
+                    postdominates_target = candidate in self._postdoms[target]
+                    strictly_postdominates_branch = (
+                        candidate in self._postdoms[block] and candidate is not block
+                    )
+                    if postdominates_target and not strictly_postdominates_branch:
+                        self.direct[candidate].append(
+                            ControlDep(terminator, direction)
+                        )
+                        self.governed[terminator][direction].add(candidate)
+
+    def blocks_governed_by(self, branch: Branch,
+                           transitive: bool = True) -> set[BasicBlock]:
+        """Blocks whose execution depends on the branch outcome.
+
+        With ``transitive=True`` (what fc wants), blocks governed by
+        branches that are themselves governed by this branch are included.
+        """
+        if branch not in self.governed:
+            return set()
+        result: set[BasicBlock] = set()
+        worklist = list(
+            self.governed[branch][True] | self.governed[branch][False]
+        )
+        while worklist:
+            block = worklist.pop()
+            if block in result:
+                continue
+            result.add(block)
+            if not transitive:
+                continue
+            terminator = block.terminator
+            if isinstance(terminator, Branch) and terminator.is_conditional:
+                if terminator in self.governed and terminator is not branch:
+                    worklist.extend(
+                        self.governed[terminator][True]
+                        | self.governed[terminator][False]
+                    )
+        return result
+
+    def governing_direction(self, branch: Branch,
+                            block: BasicBlock) -> bool | None:
+        """Which direction of ``branch`` directly governs ``block``?
+
+        Returns None if the block is not directly control dependent on the
+        branch (e.g., only transitively).
+        """
+        if branch not in self.governed:
+            return None
+        if block in self.governed[branch][True]:
+            return True
+        if block in self.governed[branch][False]:
+            return False
+        return None

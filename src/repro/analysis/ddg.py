@@ -1,0 +1,208 @@
+"""Static data-dependent instruction sequences (def-use path enumeration).
+
+Sec. IV-C: once a fault is activated in an instruction's destination
+register, it propagates along the static data-dependent instruction
+sequence until a store, a comparison feeding a branch, or a program
+output is reached.  This module enumerates those sequences as explicit
+paths so the static-instruction sub-model (fs) can aggregate per-
+instruction propagation tuples along them.
+
+Paths are enumerated interprocedurally: values passed as call arguments
+continue inside the callee, returned values continue at every call site.
+Fan-out (a value with several users) produces several paths; enumeration
+is capped to keep the state space bounded (the paper's "state space
+explosion" challenge is avoided the same way: by abstracting, not by
+enumerating dynamic executions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    Branch,
+    Call,
+    Detect,
+    Instruction,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Value
+
+#: Terminal kinds a propagation path can end in.
+TERMINAL_STORE = "store"          # error reaches a store's value operand
+TERMINAL_STORE_ADDR = "store_addr"  # error reaches a store's address
+TERMINAL_BRANCH = "branch"        # error reaches a branch condition
+TERMINAL_OUTPUT = "output"        # error reaches a program output
+TERMINAL_RET = "ret"              # error reaches main's return (discarded)
+TERMINAL_DETECT = "detect"        # error reaches a protection check
+TERMINAL_DEAD = "dead"            # value has no users: masked
+TERMINAL_TRUNCATED = "truncated"  # enumeration cap hit
+
+
+@dataclass
+class PropagationPath:
+    """One def-use path from a faulty value to a terminal.
+
+    ``steps`` holds (instruction, operand_index) pairs: the instruction
+    the error flows *into* and which operand slot carries it.  The last
+    step is the terminal instruction (when the terminal has one).
+    """
+
+    steps: list[tuple[Instruction, int]] = field(default_factory=list)
+    terminal: str = TERMINAL_DEAD
+
+    @property
+    def terminal_instruction(self) -> Instruction | None:
+        return self.steps[-1][0] if self.steps else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = " -> ".join(f"{i.opcode}#{i.iid}" for i, _ in self.steps)
+        return f"<Path [{chain}] => {self.terminal}>"
+
+
+class PathEnumerator:
+    """Enumerates propagation paths with caps on count and depth."""
+
+    def __init__(self, module: Module, max_paths: int = 128,
+                 max_depth: int = 64):
+        self.module = module
+        self.max_paths = max_paths
+        self.max_depth = max_depth
+        self._call_sites = self._index_call_sites()
+
+    def _index_call_sites(self) -> dict[str, list[Call]]:
+        sites: dict[str, list[Call]] = {}
+        for function in self.module.functions.values():
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    sites.setdefault(inst.callee, []).append(inst)
+        return sites
+
+    def paths_from(self, value: Value) -> list[PropagationPath]:
+        """All propagation paths of a fault sitting in ``value``."""
+        paths: list[PropagationPath] = []
+        self._walk(value, [], paths, set())
+        return paths
+
+    # -- the walk -----------------------------------------------------------
+
+    def _walk(self, value: Value, prefix: list, paths: list,
+              visiting: set) -> None:
+        if len(paths) >= self.max_paths:
+            return
+        if len(prefix) >= self.max_depth:
+            paths.append(PropagationPath(list(prefix), TERMINAL_TRUNCATED))
+            return
+        users = self._users_of(value)
+        if not users:
+            paths.append(PropagationPath(list(prefix), TERMINAL_DEAD))
+            return
+        for user, operand_index in users:
+            if len(paths) >= self.max_paths:
+                return
+            key = (id(user), operand_index)
+            if key in visiting:
+                continue  # def-use cycles only arise interprocedurally
+            visiting.add(key)
+            try:
+                self._step(user, operand_index, prefix, paths, visiting)
+            finally:
+                visiting.discard(key)
+
+    def _users_of(self, value: Value) -> list[tuple[Instruction, int]]:
+        users = []
+        for user in value.users:
+            if not isinstance(user, Instruction):
+                continue
+            for index, operand in enumerate(user.operands):
+                if operand is value:
+                    users.append((user, index))
+        return users
+
+    def _step(self, user: Instruction, operand_index: int, prefix: list,
+              paths: list, visiting: set) -> None:
+        hop = (user, operand_index)
+
+        if isinstance(user, Store):
+            terminal = (
+                TERMINAL_STORE if operand_index == 0 else TERMINAL_STORE_ADDR
+            )
+            paths.append(PropagationPath(prefix + [hop], terminal))
+            return
+        if isinstance(user, Branch):
+            paths.append(PropagationPath(prefix + [hop], TERMINAL_BRANCH))
+            return
+        if isinstance(user, Output):
+            paths.append(PropagationPath(prefix + [hop], TERMINAL_OUTPUT))
+            return
+        if isinstance(user, Detect):
+            paths.append(PropagationPath(prefix + [hop], TERMINAL_DETECT))
+            return
+        if isinstance(user, Ret):
+            self._step_return(user, prefix + [hop], paths, visiting)
+            return
+        if isinstance(user, Call):
+            self._step_call(user, operand_index, prefix + [hop], paths,
+                            visiting)
+            return
+        # Everything else (binop, cast, cmp, select, gep, load) propagates
+        # through its result register.
+        self._walk(user, prefix + [hop], paths, visiting)
+
+    def _step_return(self, ret: Ret, prefix: list, paths: list,
+                     visiting: set) -> None:
+        function = ret.parent.parent
+        if function.name == "main" or function.name not in self._call_sites:
+            paths.append(PropagationPath(prefix, TERMINAL_RET))
+            return
+        for call in self._call_sites[function.name]:
+            self._walk(call, prefix, paths, visiting)
+
+    def _step_call(self, call: Call, operand_index: int, prefix: list,
+                   paths: list, visiting: set) -> None:
+        if call.callee in self.module.functions:
+            callee = self.module.functions[call.callee]
+            argument: Argument = callee.args[operand_index]
+            self._walk(argument, prefix, paths, visiting)
+            return
+        # Intrinsic: assume the corrupted argument flows to the result.
+        self._walk(call, prefix, paths, visiting)
+
+
+def paths_from_instruction(module: Module, instruction: Instruction,
+                           max_paths: int = 128,
+                           max_depth: int = 64) -> list[PropagationPath]:
+    """Convenience wrapper: paths of a fault in an instruction's result."""
+    if not instruction.has_result:
+        return []
+    enumerator = PathEnumerator(module, max_paths, max_depth)
+    return enumerator.paths_from(instruction)
+
+
+def sequence_of(instruction: Instruction) -> list[Instruction]:
+    """The *intra-block single-use* data-dependent sequence, for display.
+
+    Follows single users within one function until fan-out or a terminal;
+    mirrors the "static data-dependent instruction sequence" of Fig. 2b.
+    """
+    sequence = [instruction]
+    current: Value = instruction
+    while True:
+        users = [u for u in current.users if isinstance(u, Instruction)]
+        if len(users) != 1:
+            return sequence
+        user = users[0]
+        sequence.append(user)
+        if isinstance(user, (Store, Branch, Output, Ret, Detect)):
+            return sequence
+        current = user
+
+
+def function_of(instruction: Instruction) -> Function:
+    """The function containing an instruction."""
+    return instruction.parent.parent

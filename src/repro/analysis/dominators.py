@@ -1,0 +1,109 @@
+"""Dominator and post-dominator analysis (iterative set-based dataflow).
+
+Functions in the mini-IR are small (tens to a few hundred blocks), so the
+classic O(n^2) set-intersection formulation is plenty fast and far easier
+to audit than Lengauer-Tarjan.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .cfg import exit_blocks, predecessor_map, reachable_blocks, reverse_postorder
+
+#: Sentinel used as the virtual exit node for post-dominance, so functions
+#: with several ``ret`` blocks have a single sink.
+VIRTUAL_EXIT = "<virtual-exit>"
+
+
+def compute_dominators(function: Function) -> dict[BasicBlock, set[BasicBlock]]:
+    """Map each reachable block to the set of blocks dominating it.
+
+    A block always dominates itself.  Unreachable blocks are mapped to the
+    empty set.
+    """
+    reachable = reachable_blocks(function)
+    order = reverse_postorder(function)
+    preds = predecessor_map(function)
+    entry = function.entry
+
+    dominators: dict[BasicBlock, set[BasicBlock]] = {
+        block: set() for block in function.blocks
+    }
+    dominators[entry] = {entry}
+    for block in order:
+        if block is not entry:
+            dominators[block] = set(reachable)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is entry:
+                continue
+            reachable_preds = [p for p in preds[block] if p in reachable]
+            if not reachable_preds:
+                continue
+            new_set = set.intersection(
+                *(dominators[p] for p in reachable_preds)
+            )
+            new_set.add(block)
+            if new_set != dominators[block]:
+                dominators[block] = new_set
+                changed = True
+    return dominators
+
+
+def immediate_dominators(function: Function) -> dict[BasicBlock, BasicBlock | None]:
+    """Immediate dominator of each reachable block (entry maps to None)."""
+    dominators = compute_dominators(function)
+    idom: dict[BasicBlock, BasicBlock | None] = {}
+    for block, dom_set in dominators.items():
+        if not dom_set:
+            continue
+        strict = dom_set - {block}
+        if not strict:
+            idom[block] = None
+            continue
+        # The immediate dominator is the strict dominator dominated by all
+        # other strict dominators.
+        idom[block] = max(strict, key=lambda d: len(dominators[d]))
+    return idom
+
+
+def compute_postdominators(function: Function) -> dict[BasicBlock, set]:
+    """Map each block to its set of post-dominators.
+
+    The virtual exit :data:`VIRTUAL_EXIT` post-dominates everything and is
+    included in every set; blocks that cannot reach an exit (infinite
+    loops) get only themselves.
+    """
+    exits = exit_blocks(function)
+    blocks = function.blocks
+    succs: dict = {block: list(block.successors) for block in blocks}
+    for block in exits:
+        succs[block] = [VIRTUAL_EXIT]
+
+    all_nodes = set(blocks) | {VIRTUAL_EXIT}
+    postdoms: dict = {node: set(all_nodes) for node in blocks}
+    postdoms[VIRTUAL_EXIT] = {VIRTUAL_EXIT}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            successor_sets = [postdoms[s] for s in succs[block]]
+            if successor_sets:
+                new_set = set.intersection(*successor_sets)
+            else:
+                new_set = set()
+            new_set.add(block)
+            if new_set != postdoms[block]:
+                postdoms[block] = new_set
+                changed = True
+    return postdoms
+
+
+def dominates(dominators: dict, a: BasicBlock, b: BasicBlock) -> bool:
+    """Does block ``a`` dominate block ``b``?"""
+    return a in dominators.get(b, set())

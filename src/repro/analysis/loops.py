@@ -1,0 +1,112 @@
+"""Natural loop detection and loop-terminating branch classification.
+
+The control-flow sub-model (fc) needs to know, for every conditional
+branch, whether it is Loop-Terminating (LT: its condition decides whether
+a loop iterates again) or Non-Loop-Terminating (NLT) — Sec. IV-D of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch
+from .cfg import predecessor_map
+from .dominators import compute_dominators
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the body of its back edges."""
+
+    header: BasicBlock
+    blocks: set[BasicBlock] = field(default_factory=set)
+    latches: set[BasicBlock] = field(default_factory=set)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    @property
+    def exit_edges(self) -> list[tuple[BasicBlock, BasicBlock]]:
+        """CFG edges leaving the loop."""
+        edges = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ not in self.blocks:
+                    edges.append((block, succ))
+        return edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)}>"
+
+
+def find_back_edges(function: Function) -> list[tuple[BasicBlock, BasicBlock]]:
+    """Edges (latch -> header) where the header dominates the latch."""
+    dominators = compute_dominators(function)
+    back_edges = []
+    for block in function.blocks:
+        for succ in block.successors:
+            if succ in dominators.get(block, set()):
+                back_edges.append((block, succ))
+    return back_edges
+
+
+def find_natural_loops(function: Function) -> list[Loop]:
+    """All natural loops; loops sharing a header are merged."""
+    preds = predecessor_map(function)
+    loops: dict[BasicBlock, Loop] = {}
+    for latch, header in find_back_edges(function):
+        loop = loops.setdefault(header, Loop(header, {header}))
+        loop.latches.add(latch)
+        # Blocks that reach the latch without passing through the header.
+        worklist = [latch]
+        while worklist:
+            block = worklist.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            worklist.extend(preds[block])
+    return list(loops.values())
+
+
+class LoopInfo:
+    """Per-function loop facts, including branch classification."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.loops = find_natural_loops(function)
+
+    def innermost_loop_of(self, block: BasicBlock) -> Loop | None:
+        """Smallest loop containing the block, if any."""
+        candidates = [loop for loop in self.loops if loop.contains(block)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda loop: len(loop.blocks))
+
+    def is_loop_terminating(self, branch: Branch) -> bool:
+        """Is this conditional branch loop-terminating (LT)?
+
+        A branch is LT when it sits in a loop and exactly one of its
+        directions leaves that loop — the branch condition decides whether
+        the loop keeps iterating.
+        """
+        if not branch.is_conditional:
+            return False
+        block = branch.parent
+        loop = self.innermost_loop_of(block)
+        if loop is None:
+            return False
+        in_loop = [loop.contains(target) for target in branch.targets]
+        return in_loop.count(False) == 1
+
+    def continue_direction(self, branch: Branch) -> bool | None:
+        """For an LT branch, which direction (True/False) stays in the loop.
+
+        Returns None for branches that are not loop-terminating.
+        """
+        if not self.is_loop_terminating(branch):
+            return None
+        loop = self.innermost_loop_of(branch.parent)
+        return loop.contains(branch.true_block)

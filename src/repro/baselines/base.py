@@ -1,0 +1,90 @@
+"""Shared scaffolding for the PVF/ePVF baseline models (Sec. VII-C)."""
+
+from __future__ import annotations
+
+import random
+
+from ..core.config import TridentConfig, trident_config
+from ..core.propagation import ForwardPropagator
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+
+
+class VulnerabilityModel:
+    """Base: per-instruction vulnerability + execution-weighted overall.
+
+    Subclasses implement :meth:`instruction_vulnerability`; eligibility
+    and weighting match TRIDENT and the fault injector so all approaches
+    predict over the same fault space.
+    """
+
+    def __init__(self, module: Module, profile: ProgramProfile,
+                 config: TridentConfig | None = None):
+        self.module = module
+        self.profile = profile
+        self.config = config or trident_config()
+        self._cache: dict[int, float] = {}
+        self.eligible: list[int] = []
+        self._weights: list[int] = []
+        for inst in module.instructions():
+            if not inst.has_result or not inst.users:
+                continue
+            count = profile.count(inst.iid)
+            if count == 0:
+                continue
+            self.eligible.append(inst.iid)
+            self._weights.append(count)
+
+    # -- to be provided by subclasses -----------------------------------
+
+    def _compute(self, iid: int) -> float:
+        raise NotImplementedError
+
+    # -- shared API -------------------------------------------------------
+
+    def instruction_vulnerability(self, iid: int) -> float:
+        cached = self._cache.get(iid)
+        if cached is None:
+            cached = self._compute(iid)
+            self._cache[iid] = cached
+        return cached
+
+    def overall(self, samples: int = 3000, seed: int = 0) -> float:
+        if not self.eligible:
+            return 0.0
+        rng = random.Random(seed)
+        picks = rng.choices(self.eligible, weights=self._weights, k=samples)
+        return sum(
+            self.instruction_vulnerability(iid) for iid in picks
+        ) / samples
+
+    def overall_exact(self) -> float:
+        if not self.eligible:
+            return 0.0
+        total = sum(self._weights)
+        return sum(
+            w * self.instruction_vulnerability(iid)
+            for iid, w in zip(self.eligible, self._weights)
+        ) / total
+
+    # -- helper shared by both baselines -----------------------------------
+
+    def _union_of_terminals(self, propagator: ForwardPropagator,
+                            iid: int, kinds=None) -> float:
+        """Union of corruption probabilities over terminal events."""
+        inst = self.module.instruction(iid)
+        if not inst.has_result:
+            return 0.0
+        origin_count = self.profile.count(iid)
+        survive = 1.0
+        for event in propagator.propagate(inst).events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            probability = event.probability
+            if origin_count > 0:
+                probability *= min(
+                    1.0,
+                    self.profile.count(event.instruction.iid) / origin_count,
+                )
+            survive *= 1.0 - min(1.0, probability)
+        return 1.0 - survive

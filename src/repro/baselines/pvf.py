@@ -1,0 +1,43 @@
+"""PVF — Program Vulnerability Factor (Sridharan & Kaeli, HPCA 2009).
+
+PVF measures the fraction of architecturally-required state: a fault in
+any bit whose value the architecturally correct execution depends on
+counts as vulnerable.  It distinguishes neither crashes nor benign
+faults from SDCs, so its SDC prediction is a gross over-estimate (the
+paper measures a mean absolute error of 75.19%, Fig. 9).
+
+Implementation: corruption is propagated with *identity* tuples (no
+masking, no crash discount — PVF has no notion of either) and every
+reached terminal (store, address, branch, output, return) marks the
+fault ACE.
+"""
+
+from __future__ import annotations
+
+from ..core.propagation import ForwardPropagator
+from ..core.tuples import IDENTITY, PropTuple, TupleDeriver
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from .base import VulnerabilityModel
+
+
+class _IdentityTuples(TupleDeriver):
+    """Every instruction propagates corruption with probability 1."""
+
+    def tuple_for(self, inst: Instruction, operand_index: int) -> PropTuple:
+        return IDENTITY
+
+
+class PvfModel(VulnerabilityModel):
+    """PVF as an SDC predictor (the strawman of Fig. 9)."""
+
+    def __init__(self, module: Module, profile: ProgramProfile, config=None):
+        super().__init__(module, profile, config)
+        identity = _IdentityTuples(profile, self.config)
+        self._propagator = ForwardPropagator(module, identity, self.config)
+
+    def _compute(self, iid: int) -> float:
+        # Everything that reaches architectural state is vulnerable:
+        # all terminal kinds count, with no masking along the way.
+        return self._union_of_terminals(self._propagator, iid, kinds=None)

@@ -1,0 +1,15 @@
+"""The 11-benchmark suite of Table I (mini-workload analogues)."""
+
+from .common import Lcg, SCALES, pick_scale, random_graph
+from .registry import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    all_benchmarks,
+    build_module,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES", "BenchmarkSpec", "Lcg", "SCALES", "all_benchmarks",
+    "build_module", "get_benchmark", "pick_scale", "random_graph",
+]

@@ -1,0 +1,74 @@
+"""BFS (Parboil): queue-based graph traversal.
+
+Unlike the Rodinia relaxation variant, this one uses an explicit work
+queue with head/tail cursors — a different control-flow and memory
+dependence shape (queue cells are written once and read once).
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I32, Module
+from .common import pick_scale, random_graph
+
+SUITE = "Parboil"
+AREA = "Graph traversal"
+INPUT = "synthetic CSR graph, explicit BFS queue"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    nodes = pick_scale(scale, 16, 32, 64, 160)
+    degree = pick_scale(scale, 2, 3, 3, 4)
+    offsets, targets = random_graph(nodes, degree, seed=23 + 1000003 * input_seed)
+
+    module = Module("bfs_parboil")
+    f = FunctionBuilder(module, "main")
+    graph_offsets = f.global_array("offsets", I32, nodes + 1, offsets)
+    graph_targets = f.global_array("targets", I32, len(targets), targets)
+    # Every node enters the queue exactly once, so nodes slots suffice.
+    queue = f.array("queue", I32, nodes)
+    depth = f.array("depth", I32, nodes)
+
+    f.for_range(0, nodes, lambda n: depth.__setitem__(n, -1))
+    depth[f.c(0)] = 0
+    queue[f.c(0)] = 0
+    head = f.local("head", I32, init=0)
+    tail = f.local("tail", I32, init=1)
+
+    def drain():
+        node = queue[head.get()]
+        head.set(head.get() + 1)
+        start = graph_offsets[node]
+        stop = graph_offsets[node + 1]
+        edge = f.local("edge", I32)
+        edge.set(start)
+
+        def do_edge():
+            target = graph_targets[edge.get()]
+
+            def discover():
+                depth[target] = depth[node] + 1
+                queue[tail.get()] = target
+                tail.set(tail.get() + 1)
+
+            f.if_(depth[target] < 0, discover)
+            edge.set(edge.get() + 1)
+
+        f.while_(lambda: edge.get() < stop, do_edge)
+
+    f.while_(lambda: head.get() < tail.get(), drain)
+
+    total = f.local("total", I32, init=0)
+    deepest = f.local("deepest", I32, init=0)
+
+    def accumulate(n):
+        total.set(total.get() + depth[n])
+        deepest.set(f.max(deepest.get(), depth[n]))
+
+    f.for_range(0, nodes, accumulate, name="s")
+    f.out(total.get())
+    f.out(deepest.get())
+    f.out(tail.get())
+    f.done()
+    return module.finalize()

@@ -1,0 +1,98 @@
+"""BFS (Rodinia): level-synchronous frontier graph traversal.
+
+Mirrors the Rodinia kernel's structure: a frontier mask, an updating
+mask and a visited mask, swept level by level until the frontier is
+empty — each node's cost is written exactly once.  The outer
+``while frontier-not-empty`` loop gives the model a biased
+loop-terminating branch; the per-node mask checks are non-loop-
+terminating.
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I32, Module
+from .common import pick_scale, random_graph
+
+SUITE = "Rodinia"
+AREA = "Graph traversal"
+INPUT = "synthetic CSR graph (ring + random chords), frontier masks"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    nodes = pick_scale(scale, 16, 32, 64, 160)
+    degree = pick_scale(scale, 2, 3, 3, 4)
+    offsets, targets = random_graph(nodes, degree, seed=7 + 1000003 * input_seed)
+
+    module = Module("bfs_rodinia")
+    f = FunctionBuilder(module, "main")
+    graph_offsets = f.global_array("offsets", I32, nodes + 1, offsets)
+    graph_targets = f.global_array("targets", I32, len(targets), targets)
+    cost = f.array("cost", I32, nodes)
+    mask = f.array("mask", I32, nodes)          # current frontier
+    updating = f.array("updating", I32, nodes)  # next frontier
+    visited = f.array("visited", I32, nodes)
+
+    def init(n):
+        cost[n] = -1
+        mask[n] = 0
+        updating[n] = 0
+        visited[n] = 0
+
+    f.for_range(0, nodes, init)
+    cost[f.c(0)] = 0
+    mask[f.c(0)] = 1
+    visited[f.c(0)] = 1
+
+    frontier = f.local("frontier", I32, init=1)
+
+    def sweep():
+        frontier.set(0)
+
+        def expand(node):
+            def visit_edges():
+                mask[node] = 0
+                start = graph_offsets[node]
+                stop = graph_offsets[node + 1]
+                edge = f.local("edge", I32)
+                edge.set(start)
+
+                def do_edge():
+                    target = graph_targets[edge.get()]
+
+                    def discover():
+                        cost[target] = cost[node] + 1
+                        updating[target] = 1
+
+                    f.if_(visited[target] == 0, discover)
+                    edge.set(edge.get() + 1)
+
+                f.while_(lambda: edge.get() < stop, do_edge)
+
+            f.if_(mask[node] == 1, visit_edges)
+
+        f.for_range(0, nodes, expand, name="n")
+
+        def advance(node):
+            def promote():
+                mask[node] = 1
+                visited[node] = 1
+                updating[node] = 0
+                frontier.set(1)
+
+            f.if_(updating[node] == 1, promote)
+
+        f.for_range(0, nodes, advance, name="u")
+
+    f.while_(lambda: frontier.get() > 0, sweep)
+
+    # Output: depth checksum and two probe costs.
+    total = f.local("total", I32, init=0)
+    f.for_range(0, nodes, lambda n: total.set(total.get() + cost[n]),
+                name="s")
+    f.out(total.get())
+    f.out(cost[f.c(nodes // 2)])
+    f.out(cost[f.c(nodes - 1)])
+    f.done()
+    return module.finalize()

@@ -1,0 +1,76 @@
+"""Blackscholes (Parsec): European option pricing.
+
+Pure floating point data flow through the cumulative-normal polynomial
+approximation (exp/log/sqrt intrinsics), with one data-dependent branch
+per option (negative d1 reflects the CNDF).
+"""
+
+from __future__ import annotations
+
+from ..ir import F32, FunctionBuilder, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Parsec"
+AREA = "Finance"
+INPUT = "portfolio of random option parameters (in_4.txt analogue)"
+
+_INV_SQRT_2PI = 0.3989422804014327
+_RISK_FREE = 0.02
+
+
+def _cndf(f, x):
+    """Abramowitz-Stegun cumulative normal distribution approximation."""
+    sign_flip = x < 0.0
+    magnitude = f.abs(x)
+    k = 1.0 / (magnitude * 0.2316419 + 1.0)
+    poly = k * (0.319381530 + k * (-0.356563782 + k * (
+        1.781477937 + k * (-1.821255978 + k * 1.330274429))))
+    pdf = f.exp(magnitude * magnitude * -0.5) * _INV_SQRT_2PI
+    upper = 1.0 - pdf * poly
+    return f.select(sign_flip, 1.0 - upper, upper)
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    options = pick_scale(scale, 4, 8, 16, 48)
+    rng = Lcg(11 + 1000003 * input_seed)
+    spot = rng.floats(options, 20.0, 120.0)
+    strike = rng.floats(options, 20.0, 120.0)
+    volatility = rng.floats(options, 0.1, 0.6)
+    expiry = rng.floats(options, 0.25, 2.0)
+
+    module = Module("blackscholes")
+    f = FunctionBuilder(module, "main")
+    spot_arr = f.global_array("spot", F32, options, spot)
+    strike_arr = f.global_array("strike", F32, options, strike)
+    vol_arr = f.global_array("vol", F32, options, volatility)
+    time_arr = f.global_array("time", F32, options, expiry)
+    call_arr = f.array("call", F32, options)
+
+    def price(i):
+        s = spot_arr[i]
+        k = strike_arr[i]
+        v = vol_arr[i]
+        t = time_arr[i]
+        sqrt_t = f.sqrt(t)
+        v_sqrt_t = v * sqrt_t
+        d1 = (f.log(s / k) + (v * v * 0.5 + _RISK_FREE) * t) / v_sqrt_t
+        d2 = d1 - v_sqrt_t
+        discount = f.exp(t * -_RISK_FREE)
+        call_arr[i] = s * _cndf(f, d1) - k * discount * _cndf(f, d2)
+
+    f.for_range(0, options, price, name="i")
+
+    # Output: every priced option at 4 significant digits plus the
+    # portfolio total.
+    total = f.local("total", F32, init=0.0)
+
+    def emit(i):
+        f.out(call_arr[i], precision=4)
+        total.set(total.get() + call_arr[i])
+
+    f.for_range(0, options, emit, name="o")
+    f.out(total.get(), precision=4)
+    f.done()
+    return module.finalize()

@@ -1,0 +1,79 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks need deterministic input data; we generate it with a small
+LCG so modules are bit-identical across runs and platforms (Python's
+``random`` would also be deterministic, but an explicit LCG keeps the
+benchmarks self-contained and seed-stable across Python versions).
+"""
+
+from __future__ import annotations
+
+
+class Lcg:
+    """Deterministic 32-bit linear congruential generator (Numerical
+    Recipes constants)."""
+
+    def __init__(self, seed: int):
+        self.state = seed & 0xFFFFFFFF
+
+    def next_u32(self) -> int:
+        self.state = (1664525 * self.state + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def next_int(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        if high < low:
+            raise ValueError("empty range")
+        span = high - low + 1
+        return low + self.next_u32() % span
+
+    def next_float(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * (self.next_u32() / 4294967296.0)
+
+    def ints(self, count: int, low: int, high: int) -> list[int]:
+        return [self.next_int(low, high) for _ in range(count)]
+
+    def floats(self, count: int, low: float = 0.0,
+               high: float = 1.0) -> list[float]:
+        return [round(self.next_float(low, high), 6) for _ in range(count)]
+
+
+def random_graph(nodes: int, avg_degree: int, seed: int) -> tuple[list[int], list[int]]:
+    """Adjacency in CSR form: (row offsets len nodes+1, edge targets).
+
+    Connected-ish: node i always has an edge to (i+1) % nodes, plus
+    random extras — the shape Rodinia/Parboil BFS inputs have.
+    """
+    rng = Lcg(seed)
+    adjacency: list[list[int]] = [[] for _ in range(nodes)]
+    for node in range(nodes):
+        adjacency[node].append((node + 1) % nodes)
+        for _ in range(max(0, avg_degree - 1)):
+            target = rng.next_int(0, nodes - 1)
+            if target != node and target not in adjacency[node]:
+                adjacency[node].append(target)
+    offsets = [0]
+    targets: list[int] = []
+    for neighbors in adjacency:
+        targets.extend(neighbors)
+        offsets.append(len(targets))
+    return offsets, targets
+
+
+#: Scale presets: benchmarks accept one of these names and size their
+#: inputs accordingly.  "test" keeps unit tests fast; "default" is the
+#: evaluation scale; "large" stresses scalability experiments.
+SCALES = ("test", "small", "default", "large")
+
+
+def pick_scale(scale: str, test, small, default, large):
+    """Select a per-scale parameter value."""
+    if scale == "test":
+        return test
+    if scale == "small":
+        return small
+    if scale == "default":
+        return default
+    if scale == "large":
+        return large
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")

@@ -1,0 +1,92 @@
+"""Hercules (CMU): earthquake ground-motion simulation.
+
+A 1D seismic wave equation on a heterogeneous material column, driven
+by a source wavelet, sampled at receiver stations.  The per-cell
+Laplacian lives in its own function, exercising interprocedural error
+propagation through call arguments and return values.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, FunctionBuilder, I32, Module, pointer_to
+from ..ir.dsl import ArrayView
+from .common import Lcg, pick_scale
+
+SUITE = "Carnegie Mellon University"
+AREA = "Earthquake simulation"
+INPUT = "material column + Ricker-like source wavelet"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    cells = pick_scale(scale, 12, 20, 32, 64)
+    steps = pick_scale(scale, 6, 10, 16, 32)
+    rng = Lcg(3 + 1000003 * input_seed)
+    stiffness = rng.floats(cells, 0.05, 0.2)
+    # Precomputed source wavelet (Ricker-ish pulse).
+    wavelet = [
+        round((1.0 - 2.0 * ((t - 4) / 2.0) ** 2)
+              * 2.718281828 ** (-(((t - 4) / 2.0) ** 2)), 6)
+        for t in range(steps)
+    ]
+
+    module = Module("hercules")
+
+    # laplacian(u, i): second difference of the displacement field.
+    lap = FunctionBuilder(
+        module, "laplacian",
+        arg_types=[pointer_to(F64), I32],
+        arg_names=["field", "i"],
+        return_type=F64,
+    )
+    field = lap.arg(0)
+    index = lap.arg(1)
+    field_view = ArrayView(lap, field.value, F64)
+    left = field_view[lap.max(index - 1, lap.c(0))]
+    right = field_view[lap.min(index + 1, lap.c(cells - 1))]
+    center = field_view[index]
+    lap.ret(left + right - center * 2.0)
+    lap.done()
+
+    f = FunctionBuilder(module, "main")
+    material = f.global_array("material", F64, cells, stiffness)
+    source = f.global_array("wavelet", F64, steps, wavelet)
+    u_prev = f.array("u_prev", F64, cells)
+    u_cur = f.array("u_cur", F64, cells)
+    u_next = f.array("u_next", F64, cells)
+
+    f.for_range(0, cells, lambda i: u_prev.__setitem__(i, 0.0), name="z1")
+    f.for_range(0, cells, lambda i: u_cur.__setitem__(i, 0.0), name="z2")
+
+    center_cell = cells // 2
+
+    def timestep(t):
+        # Inject the source wavelet at the column centre.
+        u_cur[f.c(center_cell)] = u_cur[f.c(center_cell)] + source[t] * 0.1
+
+        def update(i):
+            lap_value = f.call(
+                "laplacian", [f.wrap(u_cur.base), i], F64
+            )
+            u_next[i] = (
+                u_cur[i] * 2.0 - u_prev[i] + lap_value * material[i]
+            )
+        f.for_range(0, cells, update, name="i")
+        f.for_range(0, cells, lambda i: u_prev.__setitem__(i, u_cur[i]),
+                    name="c1")
+        f.for_range(0, cells, lambda i: u_cur.__setitem__(i, u_next[i]),
+                    name="c2")
+
+    f.for_range(0, steps, timestep, name="t")
+
+    # Output: receiver stations at quarter points, 3 significant digits.
+    for station in (cells // 4, cells // 2, 3 * cells // 4):
+        f.out(u_cur[f.c(station)], precision=3)
+    energy = f.local("energy", F64, init=0.0)
+    f.for_range(0, cells,
+                lambda i: energy.set(energy.get() + u_cur[i] * u_cur[i]),
+                name="e")
+    f.out(energy.get(), precision=3)
+    f.done()
+    return module.finalize()

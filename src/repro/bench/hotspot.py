@@ -1,0 +1,74 @@
+"""Hotspot (Rodinia): thermal simulation stencil.
+
+The paper's floating-point output-masking example: Hotspot stores f32
+temperatures but prints them with a 2-digit ``%g``, so low mantissa
+corruption often vanishes in the rounding (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from ..ir import F32, FunctionBuilder, I32, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Rodinia"
+AREA = "Temperature and power simulation"
+INPUT = "grid of initial temperatures and per-cell power"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    size = pick_scale(scale, 6, 8, 12, 24)
+    steps = pick_scale(scale, 2, 3, 4, 6)
+    rng = Lcg(99 + 1000003 * input_seed)
+    cells = size * size
+    temp_init = rng.floats(cells, 60.0, 80.0)
+    power_init = rng.floats(cells, 0.0, 1.5)
+
+    module = Module("hotspot")
+    f = FunctionBuilder(module, "main")
+    temp = f.global_array("temp", F32, cells, temp_init)
+    power = f.global_array("power", F32, cells, power_init)
+    scratch = f.array("scratch", F32, cells)
+
+    coupling = 0.05
+    heat_gain = 0.1
+
+    def step(_t):
+        def do_row(r):
+            def do_col(c):
+                idx = r * size + c
+                center = temp[idx]
+                north = temp[f.max(r - 1, f.c(0)) * size + c]
+                south = temp[f.min(r + 1, f.c(size - 1)) * size + c]
+                west = temp[r * size + f.max(c - 1, f.c(0))]
+                east = temp[r * size + f.min(c + 1, f.c(size - 1))]
+                laplacian = north + south + west + east - center * 4.0
+                scratch[idx] = (
+                    center + laplacian * coupling + power[idx] * heat_gain
+                )
+            f.for_range(0, size, do_col, name="c")
+        f.for_range(0, size, do_row, name="r")
+        f.for_range(0, cells, lambda i: temp.__setitem__(i, scratch[i]),
+                    name="w")
+
+    f.for_range(0, steps, step, name="t")
+
+    # Output: hottest cell and a sampled diagonal, printed at 2
+    # significant digits like the original's %g.
+    hottest = f.local("hottest", F32, init=0.0)
+    f.for_range(0, cells,
+                lambda i: hottest.set(f.max(hottest.get(), temp[i])),
+                name="h")
+    f.out(hottest.get(), precision=2)
+    stride = max(1, size // 4)
+    probe = f.local("probe", I32, init=0)
+
+    def emit_diag():
+        index = probe.get() * size + probe.get()
+        f.out(temp[index], precision=2)
+        probe.set(probe.get() + stride)
+
+    f.while_(lambda: probe.get() < size, emit_diag)
+    f.done()
+    return module.finalize()

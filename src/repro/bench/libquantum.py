@@ -1,0 +1,81 @@
+"""Libquantum (SPEC): quantum register gate simulation.
+
+Like the original, the register is a set of basis states manipulated
+with bitwise gates (X, CNOT, Toffoli, phase flips) — a workload
+dominated by logic operations, whose masking the fs tuples capture.
+The "33 5" style input becomes (qubits, gate rounds).
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I64, I32, Module
+from .common import Lcg, pick_scale
+
+SUITE = "SPEC"
+AREA = "Quantum computing"
+INPUT = "(qubits, gate rounds) acting on a basis-state table"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    qubits = pick_scale(scale, 6, 8, 10, 14)
+    states = pick_scale(scale, 12, 24, 48, 96)
+    rounds = pick_scale(scale, 2, 3, 4, 6)
+    rng = Lcg(33 + 1000003 * input_seed)
+    initial_states = [rng.next_int(0, (1 << qubits) - 1) for _ in range(states)]
+    # Gate program: (kind, control, target) triples.
+    gate_kinds = rng.ints(rounds * 3, 0, 2)
+    gate_controls = rng.ints(rounds * 3, 0, qubits - 1)
+    gate_targets = rng.ints(rounds * 3, 0, qubits - 1)
+
+    module = Module("libquantum")
+    f = FunctionBuilder(module, "main")
+    reg = f.global_array("reg", I64, states, initial_states)
+    phase = f.global_array("phase", I32, states, [0] * states)
+    kinds = f.global_array("gate_kind", I32, len(gate_kinds), gate_kinds)
+    controls = f.global_array("gate_ctrl", I32, len(gate_controls),
+                              gate_controls)
+    targets = f.global_array("gate_tgt", I32, len(gate_targets), gate_targets)
+
+    n_gates = len(gate_kinds)
+
+    def apply_gate(g):
+        kind = kinds[g]
+        control_bit = (f.c(1, I64) << controls[g].to_int(I64))
+        target_bit = (f.c(1, I64) << targets[g].to_int(I64))
+
+        def per_state(s):
+            state = reg[s]
+
+            def x_gate():
+                reg[s] = state ^ target_bit
+
+            def cnot_gate():
+                f.if_((state & control_bit) != f.c(0, I64),
+                      lambda: reg.__setitem__(s, state ^ target_bit))
+
+            def phase_gate():
+                f.if_((state & target_bit) != f.c(0, I64),
+                      lambda: phase.__setitem__(s, phase[s] + 1))
+
+            f.if_(kind == 0, x_gate,
+                  lambda: f.if_(kind == 1, cnot_gate, phase_gate))
+
+        f.for_range(0, states, per_state, name="s")
+
+    f.for_range(0, n_gates, apply_gate, name="g")
+
+    # Output: register checksum (XOR over states) and total phase.
+    xor_sum = f.local("xor_sum", I64, init=0)
+    phase_sum = f.local("phase_sum", I32, init=0)
+
+    def fold(s):
+        xor_sum.set(xor_sum.get() ^ reg[s])
+        phase_sum.set(phase_sum.get() + phase[s])
+
+    f.for_range(0, states, fold, name="f")
+    f.out(xor_sum.get().to_int(I32))
+    f.out(phase_sum.get())
+    f.done()
+    return module.finalize()

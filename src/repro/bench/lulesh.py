@@ -1,0 +1,87 @@
+"""LULESH (LLNL): Lagrangian shock hydrodynamics, 1D analogue.
+
+Staggered-grid hydro mini-app: zone pressures drive nodal forces and
+velocities; zone volumes and energies update from nodal motion.  Uses
+division and sqrt (sound-speed-limited timestep) like the original's
+``-s 1 -p`` problem.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, FunctionBuilder, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Lawrence Livermore National Laboratory"
+AREA = "Hydrodynamics modeling"
+INPUT = "1D shock tube: hot zone at the left boundary"
+
+_GAMMA = 1.4
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    zones = pick_scale(scale, 8, 12, 20, 40)
+    steps = pick_scale(scale, 4, 6, 10, 16)
+    nodes = zones + 1
+    rng = Lcg(13 + 1000003 * input_seed)
+    # Initial energy: a hot region on the left plus small noise.
+    energy_init = [
+        round((2.0 if z < zones // 4 else 0.5) + rng.next_float(0.0, 0.05), 6)
+        for z in range(zones)
+    ]
+    position_init = [round(float(n), 6) for n in range(nodes)]
+
+    module = Module("lulesh")
+    f = FunctionBuilder(module, "main")
+    position = f.global_array("position", F64, nodes, position_init)
+    velocity = f.global_array("velocity", F64, nodes, [0.0] * nodes)
+    energy = f.global_array("energy", F64, zones, energy_init)
+    pressure = f.array("pressure", F64, zones)
+    volume = f.array("volume", F64, zones)
+
+    dt = 0.02
+    node_mass = 1.0
+
+    def timestep(_t):
+        # Equation of state: p = (gamma - 1) * rho * e with rho = 1/V.
+        def eos(z):
+            v = position[z + 1] - position[z]
+            clamped = f.max(v, f.c(0.1))
+            volume[z] = clamped
+            pressure[z] = energy[z] * (_GAMMA - 1.0) / clamped
+        f.for_range(0, zones, eos, name="z")
+
+        # Nodal force = pressure differential; integrate velocity/position.
+        def move(n):
+            left = f.select(n > 0, pressure[f.max(n - 1, f.c(0))], f.c(0.0))
+            right = f.select(
+                n < zones, pressure[f.min(n, f.c(zones - 1))], f.c(0.0)
+            )
+            force = left - right
+            velocity[n] = velocity[n] + force * (dt / node_mass)
+            position[n] = position[n] + velocity[n] * dt
+        f.for_range(0, nodes, move, name="n")
+
+        # Energy update from pdV work; floor keeps the run stable under
+        # fault-free execution.
+        def work(z):
+            new_volume = f.max(position[z + 1] - position[z], f.c(0.1))
+            dv = new_volume - volume[z]
+            energy[z] = f.max(energy[z] - pressure[z] * dv, f.c(0.01))
+        f.for_range(0, zones, work, name="w")
+
+    f.for_range(0, steps, timestep, name="t")
+
+    # Output: total energy, shock-front sound speed, sampled profile.
+    total = f.local("total", F64, init=0.0)
+    f.for_range(0, zones,
+                lambda z: total.set(total.get() + energy[z]), name="s")
+    f.out(total.get(), precision=4)
+    front = zones // 4
+    sound_speed = f.sqrt(pressure[f.c(front)] * _GAMMA * volume[f.c(front)])
+    f.out(sound_speed, precision=3)
+    for probe in (0, zones // 2, zones - 1):
+        f.out(energy[f.c(probe)], precision=3)
+    f.done()
+    return module.finalize()

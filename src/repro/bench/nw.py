@@ -1,0 +1,63 @@
+"""Needleman-Wunsch (Rodinia): DNA sequence alignment by dynamic
+programming over a score matrix."""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I32, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Rodinia"
+AREA = "DNA sequence optimization"
+INPUT = "two random base sequences, gap penalty 2"
+
+_MATCH = 3
+_MISMATCH = -2
+_GAP = -2
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    length = pick_scale(scale, 8, 12, 20, 48)
+    rng = Lcg(5 + 1000003 * input_seed)
+    seq_a = rng.ints(length, 0, 3)
+    seq_b = rng.ints(length, 0, 3)
+    width = length + 1
+
+    module = Module("nw")
+    f = FunctionBuilder(module, "main")
+    bases_a = f.global_array("seq_a", I32, length, seq_a)
+    bases_b = f.global_array("seq_b", I32, length, seq_b)
+    score = f.array("score", I32, width * width)
+
+    # Boundary: accumulating gap penalties along row/column zero.
+    score[f.c(0)] = 0
+    f.for_range(1, width, lambda i: score.__setitem__(i, i * _GAP), name="bi")
+    f.for_range(1, width,
+                lambda j: score.__setitem__(j * width, j * _GAP), name="bj")
+
+    def fill_row(i):
+        def fill_cell(j):
+            match = f.select(
+                bases_a[i - 1] == bases_b[j - 1],
+                f.c(_MATCH), f.c(_MISMATCH),
+            )
+            diagonal = score[(i - 1) * width + (j - 1)] + match
+            up = score[(i - 1) * width + j] + _GAP
+            left = score[i * width + (j - 1)] + _GAP
+            score[i * width + j] = f.max(f.max(diagonal, up), left)
+        f.for_range(1, width, fill_cell, name="j")
+
+    f.for_range(1, width, fill_row, name="i")
+
+    # Output: the alignment score and an anti-diagonal checksum.
+    f.out(score[f.c(width * width - 1)])
+    checksum = f.local("checksum", I32, init=0)
+    f.for_range(
+        0, width,
+        lambda k: checksum.set(checksum.get() + score[k * width + (width - 1 - k)]),
+        name="k",
+    )
+    f.out(checksum.get())
+    f.done()
+    return module.finalize()

@@ -1,0 +1,59 @@
+"""Pathfinder (Rodinia): dynamic programming over a 2D grid.
+
+The paper's running example (Fig. 2) comes from this benchmark: an
+init-like loop writes an array, later loops reload it, and the DP makes
+biased branch decisions through min-selection.
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I32, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Rodinia"
+AREA = "Dynamic programming"
+INPUT = "rows x cols grid of random step costs"
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    rows = pick_scale(scale, 6, 8, 14, 24)
+    cols = pick_scale(scale, 10, 16, 28, 64)
+    rng = Lcg(42 + 1000003 * input_seed)
+    wall_data = rng.ints(rows * cols, 0, 9)
+
+    module = Module("pathfinder")
+    f = FunctionBuilder(module, "main")
+    wall = f.global_array("wall", I32, rows * cols, wall_data)
+    src = f.array("src", I32, cols)
+    dst = f.array("dst", I32, cols)
+
+    # init(): first row of the wall seeds the DP frontier.
+    f.for_range(0, cols, lambda j: src.__setitem__(j, wall[j]))
+
+    # run(): roll the frontier down the grid, each cell adding the
+    # cheapest of its three upper neighbours.
+    def do_row(r):
+        def do_col(j):
+            center = src[j]
+            left_index = f.max(j - 1, f.c(0))
+            right_index = f.min(j + 1, f.c(cols - 1))
+            best = f.min(f.min(src[left_index], center), src[right_index])
+            dst[j] = wall[r * cols + j] + best
+        f.for_range(0, cols, do_col, name="j")
+        f.for_range(0, cols, lambda j: src.__setitem__(j, dst[j]), name="k")
+
+    f.for_range(1, rows, do_row, name="r")
+
+    # Program output: the cheapest path cost plus a frontier checksum.
+    best = f.local("best", I32, init=1 << 20)
+    f.for_range(0, cols, lambda j: best.set(f.min(best.get(), src[j])),
+                name="m")
+    checksum = f.local("checksum", I32, init=0)
+    f.for_range(0, cols, lambda j: checksum.set(checksum.get() + src[j]),
+                name="c")
+    f.out(best.get())
+    f.out(checksum.get())
+    f.done()
+    return module.finalize()

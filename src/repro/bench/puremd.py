@@ -1,0 +1,101 @@
+"""PuReMD (Purdue): reactive molecular dynamics, 2D Lennard-Jones
+analogue.
+
+Pairwise short-range forces under a cutoff (the geo/ffield/control
+inputs become a deterministic particle box), integrated with velocity
+Verlet.  The cutoff test is the classic data-dependent branch guarding
+most of the computation.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, FunctionBuilder, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Purdue University"
+AREA = "Reactive molecular dynamics simulation"
+INPUT = "random particle box, LJ cutoff 2.0, velocity Verlet"
+
+_CUTOFF_SQ = 4.0
+_EPS = 0.3
+_SIGMA_SQ = 1.1
+_DT = 0.01
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    particles = pick_scale(scale, 8, 12, 18, 32)
+    steps = pick_scale(scale, 2, 3, 4, 6)
+    rng = Lcg(29 + 1000003 * input_seed)
+    # Jittered grid: keeps initial separations near the LJ minimum so the
+    # fault-free trajectory stays numerically tame.
+    side = max(2, int(particles ** 0.5 + 0.999))
+    spacing = 1.3
+    pos_x, pos_y = [], []
+    for p in range(particles):
+        pos_x.append(round((p % side) * spacing
+                           + rng.next_float(-0.05, 0.05), 6))
+        pos_y.append(round((p // side) * spacing
+                           + rng.next_float(-0.05, 0.05), 6))
+
+    module = Module("puremd")
+    f = FunctionBuilder(module, "main")
+    x = f.global_array("pos_x", F64, particles, pos_x)
+    y = f.global_array("pos_y", F64, particles, pos_y)
+    vx = f.global_array("vel_x", F64, particles, [0.0] * particles)
+    vy = f.global_array("vel_y", F64, particles, [0.0] * particles)
+    fx = f.array("force_x", F64, particles)
+    fy = f.array("force_y", F64, particles)
+    potential = f.local("potential", F64, init=0.0)
+
+    def timestep(_t):
+        f.for_range(0, particles, lambda i: fx.__setitem__(i, 0.0), name="z1")
+        f.for_range(0, particles, lambda i: fy.__setitem__(i, 0.0), name="z2")
+
+        def pair_outer(i):
+            def pair_inner(j):
+                dx = x[i] - x[j]
+                dy = y[i] - y[j]
+                r2 = dx * dx + dy * dy
+
+                def interact():
+                    # Lennard-Jones force magnitude over r (using r^2
+                    # powers only, like optimized MD kernels).
+                    inv_r2 = _SIGMA_SQ / f.max(r2, f.c(0.01))
+                    inv_r6 = inv_r2 * inv_r2 * inv_r2
+                    magnitude = (inv_r6 * inv_r6 * 2.0 - inv_r6) * (24.0 * _EPS)
+                    fx[i] = fx[i] + dx * magnitude
+                    fy[i] = fy[i] + dy * magnitude
+                    fx[j] = fx[j] - dx * magnitude
+                    fy[j] = fy[j] - dy * magnitude
+                    potential.set(
+                        potential.get() + (inv_r6 * inv_r6 - inv_r6) * (4.0 * _EPS)
+                    )
+
+                f.if_(r2 < _CUTOFF_SQ, interact)
+            f.for_range(i + 1, particles, pair_inner, name="j")
+        f.for_range(0, particles, pair_outer, name="i")
+
+        def integrate(i):
+            vx[i] = vx[i] + fx[i] * _DT
+            vy[i] = vy[i] + fy[i] * _DT
+            x[i] = x[i] + vx[i] * _DT
+            y[i] = y[i] + vy[i] * _DT
+        f.for_range(0, particles, integrate, name="v")
+
+    f.for_range(0, steps, timestep, name="t")
+
+    f.out(potential.get(), precision=4)
+    com_x = f.local("com_x", F64, init=0.0)
+    com_y = f.local("com_y", F64, init=0.0)
+
+    def fold(i):
+        com_x.set(com_x.get() + x[i])
+        com_y.set(com_y.get() + y[i])
+
+    f.for_range(0, particles, fold, name="c")
+    f.out(com_x.get() / float(particles), precision=4)
+    f.out(com_y.get() / float(particles), precision=4)
+    f.done()
+    return module.finalize()

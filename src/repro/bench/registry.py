@@ -1,0 +1,91 @@
+"""Benchmark registry: the Table I suite.
+
+Each entry mirrors a row of the paper's Table I (suite/author, area,
+input); ``build(scale)`` constructs the finalized IR module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.module import Module
+from . import (
+    bfs_parboil,
+    bfs_rodinia,
+    blackscholes,
+    hercules,
+    hotspot,
+    libquantum,
+    lulesh,
+    nw,
+    pathfinder,
+    puremd,
+    sad,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Metadata + builder for one benchmark."""
+
+    name: str
+    suite: str
+    area: str
+    input_desc: str
+    #: build(scale, input_seed) -> finalized Module
+    build: Callable[..., Module]
+
+
+_MODULES = {
+    "libquantum": libquantum,
+    "blackscholes": blackscholes,
+    "sad": sad,
+    "bfs_parboil": bfs_parboil,
+    "hercules": hercules,
+    "lulesh": lulesh,
+    "puremd": puremd,
+    "nw": nw,
+    "pathfinder": pathfinder,
+    "hotspot": hotspot,
+    "bfs_rodinia": bfs_rodinia,
+}
+
+#: Table I order.
+BENCHMARK_NAMES = tuple(_MODULES)
+
+_REGISTRY = {
+    name: BenchmarkSpec(
+        name=name,
+        suite=mod.SUITE,
+        area=mod.AREA,
+        input_desc=mod.INPUT,
+        build=mod.build,
+    )
+    for name, mod in _MODULES.items()
+}
+
+
+def all_benchmarks() -> list[BenchmarkSpec]:
+    """All 11 benchmark specs, in Table I order."""
+    return [_REGISTRY[name] for name in BENCHMARK_NAMES]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {BENCHMARK_NAMES}"
+        ) from None
+
+
+def build_module(name: str, scale: str = "default",
+                 input_seed: int = 0) -> Module:
+    """Build one benchmark's finalized module.
+
+    ``input_seed`` selects a different program input (initial data /
+    graph / option portfolio), keeping the code identical — the setting
+    of the paper's input-dependence future work (Sec. VII-B).
+    """
+    return get_benchmark(name).build(scale, input_seed)

@@ -1,0 +1,91 @@
+"""SAD (Parboil): sum-of-absolute-differences block matching.
+
+Video-encoding kernel: for every block of the current frame, search a
+window in the reference frame for the minimum-SAD offset.  Absolute
+values and running minima make select-heavy integer data flow.
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionBuilder, I32, Module
+from .common import Lcg, pick_scale
+
+SUITE = "Parboil"
+AREA = "Video encoding"
+INPUT = "reference.bin / frame.bin analogue: two random frames"
+
+_BLOCK = 4
+
+
+def build(scale: str = "default", input_seed: int = 0) -> Module:
+    """Build the benchmark; ``input_seed`` varies the program input
+    (Sec. VII-B: SDC probabilities are input-dependent)."""
+    size = pick_scale(scale, 8, 12, 16, 32)       # frame side (pixels)
+    window = pick_scale(scale, 1, 1, 2, 3)         # search radius (blocks)
+    rng = Lcg(17 + 1000003 * input_seed)
+    reference = rng.ints(size * size, 0, 255)
+    # Current frame = reference shifted + noise so matches are nontrivial.
+    current = [
+        (reference[(i + size + 1) % (size * size)] + rng.next_int(-6, 6)) % 256
+        for i in range(size * size)
+    ]
+    blocks_per_side = size // _BLOCK
+
+    module = Module("sad")
+    f = FunctionBuilder(module, "main")
+    ref = f.global_array("reference", I32, size * size, reference)
+    cur = f.global_array("current", I32, size * size, current)
+    best_sad = f.array("best_sad", I32, blocks_per_side * blocks_per_side)
+    best_offset = f.array("best_off", I32, blocks_per_side * blocks_per_side)
+
+    def match_block(by):
+        def match_block_x(bx):
+            block_id = by * blocks_per_side + bx
+            best_sad[block_id] = 1 << 24
+            best_offset[block_id] = 0
+
+            def try_offset(dy):
+                def try_offset_x(dx):
+                    acc = f.local("acc", I32, init=0)
+
+                    def row(py):
+                        def col(px):
+                            cy = by * _BLOCK + py
+                            cx = bx * _BLOCK + px
+                            ry = f.min(
+                                f.max(cy + dy, f.c(0)), f.c(size - 1)
+                            )
+                            rx = f.min(
+                                f.max(cx + dx, f.c(0)), f.c(size - 1)
+                            )
+                            diff = cur[cy * size + cx] - ref[ry * size + rx]
+                            acc.set(acc.get() + f.abs(diff))
+                        f.for_range(0, _BLOCK, col, name="px")
+                    f.for_range(0, _BLOCK, row, name="py")
+
+                    def take():
+                        best_sad[block_id] = acc.get()
+                        best_offset[block_id] = (
+                            (dy + window) * (2 * window + 1) + (dx + window)
+                        )
+
+                    f.if_(acc.get() < best_sad[block_id], take)
+                f.for_range(-window, window + 1, try_offset_x, name="dx")
+            f.for_range(-window, window + 1, try_offset, name="dy")
+        f.for_range(0, blocks_per_side, match_block_x, name="bx")
+
+    f.for_range(0, blocks_per_side, match_block, name="by")
+
+    total = f.local("total", I32, init=0)
+    offsets = f.local("offsets", I32, init=0)
+
+    def fold(b):
+        total.set(total.get() + best_sad[b])
+        offsets.set(offsets.get() + best_offset[b])
+
+    f.for_range(0, blocks_per_side * blocks_per_side, fold, name="b")
+    f.out(total.get())
+    f.out(offsets.get())
+    f.out(best_sad[f.c(0)])
+    f.done()
+    return module.finalize()

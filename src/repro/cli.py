@@ -1,0 +1,210 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands mirror the development cycle of Fig. 1a: inspect a program,
+predict its SDC probabilities (no FI), validate with fault injection,
+and protect it under an overhead budget — plus runners for the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.registry import BENCHMARK_NAMES, all_benchmarks, build_module
+from .core.simple_models import MODEL_NAMES, build_model
+from .core.trident import Trident
+from .fi.campaign import FaultInjector, OUTCOMES
+from .harness.context import ExperimentConfig, Workspace
+from .harness.runner import EXPERIMENTS, run_experiment
+from .interp.engine import ExecutionEngine
+from .ir.printer import format_instruction, print_module
+from .opt.pipeline import optimize
+from .profiling.profiler import ProfilingInterpreter
+from .protection.evaluate import evaluate_protection
+from .report.resilience import generate_report
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TRIDENT reproduction: soft-error propagation modeling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the Table I benchmarks")
+
+    show = commands.add_parser("show", help="print a benchmark's IR")
+    _add_benchmark_args(show)
+
+    analyze = commands.add_parser(
+        "analyze", help="predict SDC probabilities (no fault injection)"
+    )
+    _add_benchmark_args(analyze)
+    analyze.add_argument("--model", choices=MODEL_NAMES, default="trident")
+    analyze.add_argument("--samples", type=int, default=3000,
+                         help="dynamic instances to sample (paper: 3000)")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="how many SDC-prone instructions to list")
+    analyze.add_argument("--opt-level", type=int, default=0,
+                         choices=(0, 1, 2),
+                         help="optimize before analyzing (2 = SSA form)")
+
+    report = commands.add_parser(
+        "report", help="generate a markdown resilience report"
+    )
+    _add_benchmark_args(report)
+    report.add_argument("--target", type=float, default=None,
+                        help="target SDC probability, e.g. 0.05")
+    report.add_argument("--budget", type=float, default=1 / 3)
+
+    inject = commands.add_parser(
+        "inject", help="run a fault injection campaign (ground truth)"
+    )
+    _add_benchmark_args(inject)
+    inject.add_argument("--runs", type=int, default=1000)
+    inject.add_argument("--seed", type=int, default=0)
+
+    protect = commands.add_parser(
+        "protect", help="selective duplication under an overhead budget"
+    )
+    _add_benchmark_args(protect)
+    protect.add_argument("--model", choices=MODEL_NAMES, default="trident")
+    protect.add_argument("--budget", type=float, default=1 / 3,
+                         help="fraction of full-duplication overhead")
+    protect.add_argument("--runs", type=int, default=600,
+                         help="FI runs for the evaluation")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    experiment.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
+    experiment.add_argument("--scale", default="test")
+    experiment.add_argument("--fi-samples", type=int, default=400)
+    return parser
+
+
+def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    parser.add_argument("--scale", default="default",
+                        choices=("test", "small", "default", "large"))
+    parser.add_argument("--input-seed", type=int, default=0)
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    args = build_argument_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "analyze": _cmd_analyze,
+        "inject": _cmd_inject,
+        "protect": _cmd_protect,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args, out)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(_args, out) -> int:
+    print(f"{'name':14s} {'suite':32s} {'area':34s}", file=out)
+    for spec in all_benchmarks():
+        print(f"{spec.name:14s} {spec.suite:32s} {spec.area:34s}", file=out)
+    return 0
+
+
+def _cmd_show(args, out) -> int:
+    module = build_module(args.benchmark, args.scale, args.input_seed)
+    print(print_module(module), file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    module = build_module(args.benchmark, args.scale, args.input_seed)
+    if args.opt_level:
+        module, opt_report = optimize(module, args.opt_level)
+        print(f"optimized at O{args.opt_level}: "
+              f"{opt_report.before_instructions} -> "
+              f"{opt_report.after_instructions} static instructions "
+              f"({opt_report.slots_promoted} slots promoted)", file=out)
+    profile, _outputs = ProfilingInterpreter(module).run()
+    model = build_model(args.model, module, profile)
+    overall = model.overall_sdc(samples=args.samples)
+    print(f"program: {module.name} ({module.num_instructions} static, "
+          f"{profile.dynamic_count} dynamic instructions)", file=out)
+    print(f"model:   {args.model}", file=out)
+    print(f"overall SDC probability:   {overall * 100:.2f}%", file=out)
+    if args.model == "trident":
+        crash = model.overall_crash(samples=args.samples)
+        print(f"overall crash probability: {crash * 100:.2f}%", file=out)
+    sdc_map = model.sdc_map()
+    print(f"\ntop {args.top} SDC-prone instructions:", file=out)
+    for iid in sorted(sdc_map, key=sdc_map.get, reverse=True)[: args.top]:
+        inst = module.instruction(iid)
+        print(f"  {sdc_map[iid] * 100:6.2f}%  {format_instruction(inst)}",
+              file=out)
+    return 0
+
+
+def _cmd_inject(args, out) -> int:
+    module = build_module(args.benchmark, args.scale, args.input_seed)
+    injector = FaultInjector(module)
+    campaign = injector.campaign(args.runs, seed=args.seed)
+    print(f"program: {module.name}; {campaign.total} injections", file=out)
+    for outcome in OUTCOMES:
+        probability = campaign.probability(outcome)
+        margin = campaign.margin_of_error(outcome)
+        print(f"  {outcome:9s} {probability * 100:6.2f}% "
+              f"(± {margin * 100:.2f}%)", file=out)
+    return 0
+
+
+def _cmd_protect(args, out) -> int:
+    module = build_module(args.benchmark, args.scale, args.input_seed)
+    profile, _outputs = ProfilingInterpreter(module).run()
+    outcome = evaluate_protection(
+        module, profile, args.model, args.budget, fi_samples=args.runs
+    )
+    print(f"program: {module.name}; model: {args.model}; "
+          f"budget: {args.budget:.0%} of full duplication", file=out)
+    print(f"instructions protected: {len(outcome.selected_iids)}", file=out)
+    print(f"measured overhead:      {outcome.measured_overhead:.1%}",
+          file=out)
+    print(f"SDC before:             {outcome.baseline_sdc:.2%}", file=out)
+    print(f"SDC after:              {outcome.protected_sdc:.2%}", file=out)
+    print(f"SDC reduction:          {outcome.sdc_reduction:.0%}", file=out)
+    print(f"faults detected:        "
+          f"{outcome.protected.detected_probability:.2%}", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    module = build_module(args.benchmark, args.scale, args.input_seed)
+    profile, _outputs = ProfilingInterpreter(module).run()
+    report = generate_report(
+        module, profile, target_sdc=args.target,
+        overhead_budget=args.budget,
+    )
+    print(report.render(), file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    config = ExperimentConfig(
+        scale=args.scale,
+        fi_samples=args.fi_samples,
+        model_samples=args.fi_samples,
+    )
+    workspace = Workspace(config)
+    names = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    for name in names:
+        result = run_experiment(name, workspace)
+        print(result.render(), file=out)
+        print(file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""fm — the memory sub-model (Sec. IV-E).
+
+Tracks a corrupted store's value through the pruned memory dependency
+graph until the program output: which loads observe the corrupted cells
+(with what fraction of the store's instances), and from each load, where
+the reloaded error goes — invoking the forward propagator on the load's
+static data-dependent sequences and fc when a sequence ends in a branch.
+
+Three design points beyond the paper's prose, each forced by a concrete
+failure mode:
+
+* **Cycles.**  The memory graph of real programs is cyclic (an
+  accumulator is a store→load→store loop; corrupted data entering it
+  persists until the loop exits), so store probabilities are solved as
+  a monotone fixed point rather than by walking the graph.
+* **Reader sets.**  One store's instances may be read by several static
+  loads.  Those loads can partition the instances (accumulator: every
+  instance feeds the next iteration except the last, which feeds the
+  output) or observe the *same* instances (a DP stencil reads each cell
+  three times).  The profiler records the exact reader set per instance;
+  contributions sum across sets (exclusive) and union within one
+  (joint observation of the same corrupted value).
+* **Per-output reach.**  Output-precision masking (the %g rule) is a
+  property of the corrupted value, not of the route it took; a cycle
+  that replicates the corruption into many cells must not amplify past
+  it.  fm therefore computes factor-free *reach* probabilities per
+  output instruction and applies each output's masking factor exactly
+  once, at the end.
+
+Per-store results are memoized (the paper's memoization, Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import Branch, Output, Store
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from .config import TridentConfig
+from .fc import ControlFlowSubModel
+from .masking import output_masking_factor
+from .propagation import (
+    EV_BRANCH,
+    EV_OUTPUT,
+    EV_STORE,
+    EV_STORE_ADDR,
+    ForwardPropagator,
+)
+
+#: Fixed-point iteration cap; the per-output reach map is monotone and
+#: bounded by 1, converging geometrically for sub-1 cycle weights.
+_MAX_ITERATIONS = 100
+_CONVERGENCE_EPS = 1e-7
+
+#: Pseudo-output key for the optional store-address-SDC extension.
+_ADDR_SINK = -1
+
+
+@dataclass(frozen=True)
+class _Contribution:
+    """One precompiled term of a load's propagation function."""
+
+    kind: str    # "out" (reaches an output sink) or "store"
+    weight: float
+    ref: int     # output iid (or _ADDR_SINK) / store iid
+
+
+class MemorySubModel:
+    """P(SDC | a given store instruction writes a corrupted value)."""
+
+    def __init__(self, module: Module, profile: ProgramProfile,
+                 config: TridentConfig,
+                 control_model: ControlFlowSubModel,
+                 propagator: ForwardPropagator,
+                 weigher=None):
+        from .weighting import ExecutionWeigher
+
+        self.module = module
+        self.profile = profile
+        self.config = config
+        self.fc = control_model
+        self.propagator = propagator
+        self.weigher = weigher or ExecutionWeigher(module, profile)
+        #: store iid -> {output iid -> reach probability}
+        self._memo: dict[int, dict[int, float]] = {}
+        self._load_terms: dict[int, list[_Contribution]] = {}
+        self._store_edges: dict[int, list[tuple[int, float]]] = {}
+        self._factors: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def propagate_store(self, store: Store) -> float:
+        """P(a corrupted instance of ``store`` causes an SDC).
+
+        Sinks are combined with max, not a union: the visibility of one
+        corrupted value at several outputs is driven by the same bit
+        position and magnitude, so the events are strongly correlated —
+        "the most revealing output it reaches" is the better estimate.
+        """
+        reach = self.store_reach(store)
+        best = 0.0
+        for sink, probability in reach.items():
+            best = max(best, min(1.0, probability) * self._factor(sink))
+        return best
+
+    def store_reach(self, store: Store) -> dict[int, float]:
+        """Factor-free reach probability per output sink."""
+        cached = self._memo.get(store.iid)
+        if cached is not None:
+            return cached
+        closure = self._closure(store.iid)
+        values: dict[int, dict[int, float]] = {iid: {} for iid in closure}
+        for _ in range(_MAX_ITERATIONS):
+            delta = 0.0
+            for iid in closure:
+                updated = self._evaluate_store(iid, values)
+                current = values[iid]
+                for sink, probability in updated.items():
+                    previous = current.get(sink, 0.0)
+                    if probability > previous + 1e-12:
+                        delta = max(delta, probability - previous)
+                        current[sink] = probability
+            if delta < _CONVERGENCE_EPS:
+                break
+        self._memo.update(values)
+        return values[store.iid]
+
+    def clear_cache(self) -> None:
+        self._memo.clear()
+        self._load_terms.clear()
+        self._store_edges.clear()
+
+    @property
+    def memoized_stores(self) -> int:
+        return len(self._memo)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+
+    def _factor(self, sink: int) -> float:
+        if sink == _ADDR_SINK:
+            return 1.0
+        factor = self._factors.get(sink)
+        if factor is None:
+            output = self.module.instruction(sink)
+            assert isinstance(output, Output)
+            factor = output_masking_factor(output)
+            self._factors[sink] = factor
+        return factor
+
+    def _edges_of(self, store_iid: int) -> list[tuple[int, float]]:
+        edges = self._store_edges.get(store_iid)
+        if edges is None:
+            edges = [
+                (load_iid, weight)
+                for load_iid, weight in self.profile.loads_reading(store_iid)
+                if weight > self.config.epsilon
+            ]
+            self._store_edges[store_iid] = edges
+        return edges
+
+    def _closure(self, root_iid: int) -> list[int]:
+        """All store iids reachable from the root in the memory graph."""
+        seen: set[int] = set()
+        worklist = [root_iid]
+        while worklist:
+            store_iid = worklist.pop()
+            if store_iid in seen:
+                continue
+            seen.add(store_iid)
+            for load_iid, _weight in self._edges_of(store_iid):
+                for term in self._terms_of(load_iid):
+                    if term.kind == "store" and term.ref not in seen:
+                        worklist.append(term.ref)
+        return sorted(seen)
+
+    def _terms_of(self, load_iid: int) -> list[_Contribution]:
+        """Precompiled propagation terms of one load."""
+        terms = self._load_terms.get(load_iid)
+        if terms is not None:
+            return terms
+        terms = []
+        load = self.module.instruction(load_iid)
+        load_count = self.profile.count(load_iid)
+        if load_count == 0:
+            self._load_terms[load_iid] = terms
+            return terms
+        for event in self.propagator.propagate(load).events:
+            terminal = event.instruction
+            alive = event.probability
+            # Divergence weighting (Fig. 4): scale by how often the
+            # terminal executes relative to the load; post-dominating
+            # terminals are always reached.
+            alive *= self.weigher.weight(load, terminal)
+            if alive <= self.config.epsilon:
+                continue
+            if event.kind == EV_OUTPUT:
+                terms.append(_Contribution("out", alive, terminal.iid))
+            elif event.kind == EV_STORE:
+                terms.append(_Contribution("store", alive, terminal.iid))
+            elif event.kind == EV_BRANCH:
+                assert isinstance(terminal, Branch)
+                terms.extend(self._branch_terms(terminal, alive))
+            elif event.kind == EV_STORE_ADDR:
+                if self.config.model_store_address_sdc:
+                    crash = self.profile.crash_probability(terminal.iid)
+                    terms.append(_Contribution(
+                        "out", alive * (1.0 - crash), _ADDR_SINK
+                    ))
+            # ret/detect: masked (or detected), no term.
+        self._load_terms[load_iid] = terms
+        return terms
+
+    def _branch_terms(self, branch: Branch,
+                      alive: float) -> list[_Contribution]:
+        """fc invoked inside the memory walk: branch → corrupted stores."""
+        if not self.config.enable_control_flow:
+            return []
+        terms = []
+        for store, pc in self.fc.corrupted_stores(branch):
+            weight = alive * pc
+            if weight > self.config.epsilon:
+                terms.append(_Contribution("store", weight, store.iid))
+        return terms
+
+    # ------------------------------------------------------------------
+    # Fixed-point evaluation
+    # ------------------------------------------------------------------
+
+    def _sinks_of(self, store_iid: int, values) -> set[int]:
+        sinks: set[int] = set()
+        for load_iid, _weight in self._edges_of(store_iid):
+            for term in self._terms_of(load_iid):
+                if term.kind == "out":
+                    sinks.add(term.ref)
+                else:
+                    reach = values.get(term.ref) or self._memo.get(term.ref)
+                    if reach:
+                        sinks.update(reach)
+        return sinks
+
+    def _evaluate_store(self, store_iid: int, values) -> dict[int, float]:
+        """One fixed-point update: per-sink reach of one store.
+
+        Reader sets partition the store's instances, so their
+        contributions sum; loads within one set observed the same
+        corrupted value, so their reach probabilities union.
+        """
+        distribution = self.profile.reader_set_distribution(store_iid)
+        if not distribution:
+            return {}
+        result: dict[int, float] = {}
+        for sink in self._sinks_of(store_iid, values):
+            contributions = {
+                load_iid: min(1.0, self._load_total(load_iid, sink, values))
+                for load_iid, _w in self._edges_of(store_iid)
+            }
+            total = 0.0
+            for readers, fraction in distribution:
+                survive = 1.0
+                for load_iid in readers:
+                    survive *= 1.0 - contributions.get(load_iid, 0.0)
+                total += fraction * (1.0 - survive)
+            if total > self.config.epsilon:
+                result[sink] = min(1.0, total)
+        return result
+
+    def _load_total(self, load_iid: int, sink: int, values) -> float:
+        total = 0.0
+        for term in self._terms_of(load_iid):
+            if term.kind == "out":
+                if term.ref == sink:
+                    total += term.weight
+            else:
+                reach = values.get(term.ref)
+                if reach is None:
+                    reach = self._memo.get(term.ref, {})
+                total += term.weight * reach.get(sink, 0.0)
+        return total

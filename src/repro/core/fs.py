@@ -1,0 +1,56 @@
+"""fs — the static-instruction sub-model (Sec. IV-C).
+
+Given a propagation path (a static data-dependent instruction sequence
+from :mod:`repro.analysis.ddg`), fs aggregates the per-instruction
+propagation tuples along it: the probability the error is still alive at
+the sequence terminal, the probability it crashed along the way, and the
+probability it was masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.ddg import PropagationPath
+from .tuples import TupleDeriver
+
+
+@dataclass(frozen=True)
+class SequenceResult:
+    """Outcome probabilities of propagation along one sequence."""
+
+    propagation: float  # error alive at the terminal
+    masking: float
+    crash: float
+
+    def __post_init__(self):
+        total = self.propagation + self.masking + self.crash
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"sequence result must sum to 1, got {total}")
+
+
+class StaticSubModel:
+    """Aggregates propagation tuples along static instruction sequences."""
+
+    def __init__(self, tuples: TupleDeriver):
+        self.tuples = tuples
+
+    def propagate(self, path: PropagationPath) -> SequenceResult:
+        """Probability the error survives to the end of the sequence.
+
+        Mirrors the Fig. 2b aggregation: the tuple of every instruction
+        the error flows *into* is multiplied; crash mass accumulates in
+        proportion to the probability the error was still alive when it
+        reached the crashing instruction.
+        """
+        alive = 1.0
+        crashed = 0.0
+        for instruction, operand_index in path.steps:
+            prop_tuple = self.tuples.tuple_for(instruction, operand_index)
+            crashed += alive * prop_tuple.crash
+            alive *= prop_tuple.propagation
+            if alive <= 0.0:
+                alive = 0.0
+                break
+        masked = max(0.0, 1.0 - alive - crashed)
+        return SequenceResult(alive, masked, crashed)

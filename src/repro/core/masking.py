@@ -1,0 +1,32 @@
+"""Output-precision masking for floating point values (Sec. IV-E).
+
+When a program prints a float with fewer significant digits than the
+type carries (e.g. ``%g`` printing 2 of f32's 7 digits), corrupted
+low-order mantissa bits can vanish in the rounding.  The paper
+approximates the surviving propagation probability as::
+
+    ((w - mantissa) + mantissa * printed/full) / w
+
+which for f32 printed at 2 digits gives ((32-23) + 23*(2/7))/32 = 48.66%.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Output
+from ..ir.types import FloatType
+
+
+def output_masking_factor(output: Output) -> float:
+    """Propagation probability of a corrupted value at this output."""
+    value_type = output.value.type
+    if not isinstance(value_type, FloatType):
+        return 1.0
+    if output.precision is None:
+        return 1.0
+    full_digits = value_type.decimal_digits
+    if output.precision >= full_digits:
+        return 1.0
+    width = value_type.bits
+    mantissa = value_type.mantissa_bits
+    kept = output.precision / full_digits
+    return ((width - mantissa) + mantissa * kept) / width

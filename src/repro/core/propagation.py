@@ -1,0 +1,219 @@
+"""Forward propagation of corruption probabilities over the def-use DAG.
+
+fs as presented in the paper multiplies tuples along a *sequence*; real
+IR fans out (one value feeds a cmp, a select and an arithmetic chain
+that all reconverge on the same store).  Enumerating sequences and
+summing their contributions double-counts the shared suffixes, so we
+evaluate the whole def-use DAG instead:
+
+* ``P(corrupt(v))`` for every value reachable from the fault site, where
+  a node with several corrupted operands merges them as a union of
+  events: ``P = 1 - prod(1 - P(op) * tuple(op).propagation)``;
+* every *terminal* (store value, store address, branch condition,
+  program output, return, protection check) is reported once, with the
+  probability corruption enters it.
+
+Interprocedural edges (call argument -> callee formal, return ->
+call-site result) are part of the same graph; recursion makes it cyclic
+in the worst case, so probabilities are solved by monotone fixed-point
+iteration (they only grow, bounded by 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import (
+    Branch,
+    Call,
+    Detect,
+    Instruction,
+    Output,
+    Ret,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Value
+from .config import TridentConfig
+from .tuples import TupleDeriver
+
+#: Terminal event kinds.
+EV_STORE = "store"
+EV_STORE_ADDR = "store_addr"
+EV_BRANCH = "branch"
+EV_OUTPUT = "output"
+EV_RET = "ret"
+EV_DETECT = "detect"
+
+_MAX_FIXPOINT_ITERATIONS = 50
+
+
+@dataclass(frozen=True)
+class TerminalEvent:
+    """Corruption arriving at one terminal instruction."""
+
+    kind: str
+    instruction: Instruction
+    probability: float  # P(corrupted data enters this terminal)
+
+
+@dataclass
+class PropagationResult:
+    """All terminal events of one fault site, event-merged."""
+
+    events: list[TerminalEvent]
+    #: Probability the fault crashes somewhere along the data flow.
+    crash_probability: float
+    #: Number of values the corruption could reach (diagnostics).
+    reached_values: int
+
+
+class ForwardPropagator:
+    """Computes :class:`PropagationResult` for fault sites in a module."""
+
+    def __init__(self, module: Module, tuples: TupleDeriver,
+                 config: TridentConfig):
+        self.module = module
+        self.tuples = tuples
+        self.config = config
+        self._call_sites: dict[str, list[Call]] = {}
+        for function in module.functions.values():
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    self._call_sites.setdefault(inst.callee, []).append(inst)
+
+    # ------------------------------------------------------------------
+
+    def propagate(self, origin: Value) -> PropagationResult:
+        """Terminal events for a fault in ``origin``'s value."""
+        nodes, edges, terminals = self._reachable_graph(origin)
+        prob: dict[int, float] = {id(node): 0.0 for node in nodes}
+        prob[id(origin)] = 1.0
+
+        incoming: dict[int, list[tuple[int, float]]] = {}
+        for src, dst, p_edge in edges:
+            incoming.setdefault(id(dst), []).append((id(src), p_edge))
+
+        # Monotone fixed point (single pass suffices for a DAG when nodes
+        # happen to come out in topological order; recursion needs more).
+        for _ in range(_MAX_FIXPOINT_ITERATIONS):
+            changed = False
+            for node in nodes:
+                key = id(node)
+                if key == id(origin):
+                    continue
+                survive = 1.0
+                for src_key, p_edge in incoming.get(key, ()):  # union merge
+                    survive *= 1.0 - prob[src_key] * p_edge
+                updated = 1.0 - survive
+                if updated > prob[key] + 1e-12:
+                    prob[key] = updated
+                    changed = True
+            if not changed:
+                break
+
+        events = []
+        for kind, terminal, source, p_edge in terminals:
+            probability = prob[id(source)] * p_edge
+            if probability > self.config.epsilon:
+                events.append(TerminalEvent(kind, terminal, probability))
+
+        crash = self._crash_probability(nodes, prob)
+        return PropagationResult(events, crash, len(nodes))
+
+    # ------------------------------------------------------------------
+
+    def _reachable_graph(self, origin: Value):
+        """BFS over def-use edges from the origin.
+
+        Returns (nodes in discovery order, edges (src, dst, p), terminal
+        records (kind, terminal_inst, source_value, p_edge)).
+        """
+        nodes: list[Value] = [origin]
+        seen: set[int] = {id(origin)}
+        edges: list[tuple[Value, Value, float]] = []
+        terminals: list[tuple[str, Instruction, Value, float]] = []
+        worklist = [origin]
+
+        def reach(value: Value) -> None:
+            if id(value) not in seen:
+                seen.add(id(value))
+                nodes.append(value)
+                worklist.append(value)
+
+        while worklist:
+            value = worklist.pop()
+            for user in list(value.users):
+                if not isinstance(user, Instruction):
+                    continue
+                for operand_index, operand in enumerate(user.operands):
+                    if operand is not value:
+                        continue
+                    self._visit_use(value, user, operand_index, edges,
+                                    terminals, reach)
+        return nodes, edges, terminals
+
+    def _visit_use(self, value, user, operand_index, edges, terminals,
+                   reach) -> None:
+        if isinstance(user, Store):
+            kind = EV_STORE if operand_index == 0 else EV_STORE_ADDR
+            terminals.append((kind, user, value, 1.0))
+            return
+        if isinstance(user, Branch):
+            terminals.append((EV_BRANCH, user, value, 1.0))
+            return
+        if isinstance(user, Output):
+            terminals.append((EV_OUTPUT, user, value, 1.0))
+            return
+        if isinstance(user, Detect):
+            terminals.append((EV_DETECT, user, value, 1.0))
+            return
+        if isinstance(user, Ret):
+            function = user.parent.parent
+            sites = self._call_sites.get(function.name, [])
+            if function.name == "main" or not sites:
+                terminals.append((EV_RET, user, value, 1.0))
+                return
+            for call in sites:
+                reach(call)
+                edges.append((value, call, 1.0))
+            return
+        if isinstance(user, Call):
+            if user.callee in self.module.functions:
+                callee = self.module.functions[user.callee]
+                formal: Argument = callee.args[operand_index]
+                reach(formal)
+                edges.append((value, formal, 1.0))
+                return
+            # Intrinsic: corruption flows through to the result.
+            reach(user)
+            edges.append((value, user, 1.0))
+            return
+        # min/max cluster: when the comparison exists only to drive
+        # selects over this same value, the joint select-arm tuples carry
+        # the whole effect — the value→cmp edge would double count it.
+        from .tuples import cmp_feeds_only_minmax_selects
+        from ..ir.instructions import FCmp, ICmp
+
+        if (self.config.model_minmax_joint
+                and isinstance(user, (ICmp, FCmp))
+                and cmp_feeds_only_minmax_selects(user, value)):
+            return
+        # Ordinary computation: the user's result may be corrupted.
+        p_edge = self.tuples.tuple_for(user, operand_index).propagation
+        if p_edge <= self.config.epsilon:
+            return
+        reach(user)
+        edges.append((value, user, p_edge))
+
+    def _crash_probability(self, nodes, prob) -> float:
+        """Union of per-node crash events (diagnostic estimate)."""
+        survive = 1.0
+        for node in nodes:
+            if not isinstance(node, Instruction):
+                continue
+            for operand_index, operand in enumerate(node.operands):
+                if id(operand) in prob:
+                    crash = self.tuples.tuple_for(node, operand_index).crash
+                    survive *= 1.0 - prob[id(operand)] * crash
+        return 1.0 - survive

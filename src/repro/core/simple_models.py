@@ -1,0 +1,38 @@
+"""The two simpler comparison models of Sec. V-B.
+
+Both reuse the TRIDENT machinery with sub-models disabled:
+
+* ``fs+fc`` — control-flow divergence is modeled but an error that
+  reaches any store is assumed to be an SDC (no memory tracking).  The
+  paper shows this always over-predicts.
+* ``fs`` — only static data dependencies; propagation stops at
+  control-flow divergence, and a store hit is an SDC.  Over- or
+  under-predicts depending on the program.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from .config import fs_fc_config, fs_only_config, trident_config
+from .trident import Trident
+
+MODEL_NAMES = ("trident", "fs+fc", "fs")
+
+
+def build_model(name: str, module: Module,
+                profile: ProgramProfile) -> Trident:
+    """Build one of the three models by name ("trident", "fs+fc", "fs")."""
+    if name == "trident":
+        return Trident(module, profile, trident_config())
+    if name in ("fs+fc", "fs_fc"):
+        return Trident(module, profile, fs_fc_config())
+    if name in ("fs", "fs_only"):
+        return Trident(module, profile, fs_only_config())
+    raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+
+
+def build_all_models(module: Module,
+                     profile: ProgramProfile) -> dict[str, Trident]:
+    """All three models sharing one profile (as in the evaluation)."""
+    return {name: build_model(name, module, profile) for name in MODEL_NAMES}

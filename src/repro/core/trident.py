@@ -1,0 +1,221 @@
+"""TRIDENT: the three-level error propagation model (Sec. IV).
+
+This is the paper's Algorithm 1, generalized from a single sequence to
+the full fan-out of def-use paths (contributions are summed and capped
+at 1, per the algorithm's "maximum propagation prob. is 1"):
+
+1. fs traces the fault along each static data-dependent instruction
+   sequence to its terminal;
+2. if the terminal is a branch, fc yields the stores it corrupts and at
+   what probabilities;
+3. fm carries corrupted stores through memory to the program output.
+
+The model predicts the SDC probability of each individual instruction
+and of the whole program, without any fault injection.  Disabling fm
+(or fc and fm) yields the two simpler comparison models of Sec. V-B.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..ir.instructions import Branch, Output, Store
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from ..profiling.profiler import ProfilingInterpreter
+from .config import TridentConfig, trident_config
+from .fc import ControlFlowSubModel
+from .fm import MemorySubModel
+from .fs import StaticSubModel
+from .masking import output_masking_factor
+from .propagation import (
+    EV_BRANCH,
+    EV_OUTPUT,
+    EV_STORE,
+    EV_STORE_ADDR,
+    ForwardPropagator,
+)
+from .tuples import TupleDeriver
+from .weighting import ExecutionWeigher
+
+
+class Trident:
+    """The model: built from a module and one profiled execution."""
+
+    def __init__(self, module: Module, profile: ProgramProfile,
+                 config: TridentConfig | None = None):
+        if not module.is_finalized:
+            raise ValueError("finalize the module before modeling")
+        self.module = module
+        self.profile = profile
+        self.config = config or trident_config()
+        self.tuples = TupleDeriver(profile, self.config)
+        self.propagator = ForwardPropagator(module, self.tuples, self.config)
+        self.fs = StaticSubModel(self.tuples)
+        self.fc = ControlFlowSubModel(module, profile, self.config)
+        self.weigher = ExecutionWeigher(module, profile)
+        self.fm = MemorySubModel(
+            module, profile, self.config, self.fc, self.propagator,
+            self.weigher,
+        )
+        self._sdc_cache: dict[int, float] = {}
+        #: Cumulative wall-clock seconds spent in inference.
+        self.inference_seconds = 0.0
+        # Injection-eligible instructions (same definition as the fault
+        # injector: executed, produces a result, result is used).
+        self.eligible: list[int] = []
+        self._weights: list[int] = []
+        for inst in module.instructions():
+            if not inst.has_result or not inst.users:
+                continue
+            count = profile.count(inst.iid)
+            if count == 0:
+                continue
+            self.eligible.append(inst.iid)
+            self._weights.append(count)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, module: Module, config: TridentConfig | None = None,
+              sample_cap: int = 32, seed: int = 2018) -> "Trident":
+        """Profile the program once and build the model on top."""
+        profile, _outputs = ProfilingInterpreter(
+            module, sample_cap=sample_cap, seed=seed
+        ).run()
+        return cls(module, profile, config)
+
+    # ------------------------------------------------------------------
+    # Per-instruction prediction
+    # ------------------------------------------------------------------
+
+    def instruction_sdc(self, iid: int) -> float:
+        """P(SDC | fault activated in instruction ``iid``'s result)."""
+        cached = self._sdc_cache.get(iid)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        probability = self._compute_sdc(iid)
+        self.inference_seconds += time.perf_counter() - started
+        self._sdc_cache[iid] = probability
+        return probability
+
+    def _compute_sdc(self, iid: int) -> float:
+        inst = self.module.instruction(iid)
+        if not inst.has_result:
+            return 0.0
+        result = self.propagator.propagate(inst)
+        survive = 1.0  # union-combine the terminal events
+        for event in result.events:
+            contribution = self._event_contribution(inst, event)
+            survive *= 1.0 - min(1.0, contribution)
+        return 1.0 - survive
+
+    def _event_contribution(self, origin, event) -> float:
+        terminal = event.instruction
+        alive = event.probability
+        # Divergence weighting: the terminal may execute less often than
+        # the faulty instruction (conditional paths).  Post-dominating
+        # terminals are always reached (see ExecutionWeigher).
+        alive *= self.weigher.weight(origin, terminal)
+        if alive <= self.config.epsilon:
+            return 0.0
+
+        if event.kind == EV_OUTPUT:
+            assert isinstance(terminal, Output)
+            return alive * output_masking_factor(terminal)
+        if event.kind == EV_STORE:
+            assert isinstance(terminal, Store)
+            if self.config.enable_memory:
+                return alive * self.fm.propagate_store(terminal)
+            # Simpler models: an error reaching a store is an SDC.
+            return alive
+        if event.kind == EV_BRANCH:
+            assert isinstance(terminal, Branch)
+            if not self.config.enable_control_flow:
+                return 0.0  # fs-only: propagation stops at divergence
+            contribution = 0.0
+            for store, pc in self.fc.corrupted_stores(terminal):
+                if self.config.enable_memory:
+                    contribution += pc * self.fm.propagate_store(store)
+                else:
+                    contribution += pc
+            return alive * min(1.0, contribution)
+        if event.kind == EV_STORE_ADDR:
+            if self.config.model_store_address_sdc:
+                crash = self.profile.crash_probability(terminal.iid)
+                return alive * (1.0 - crash)
+            return 0.0
+        # ret / detect
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Whole-program prediction
+    # ------------------------------------------------------------------
+
+    def overall_sdc(self, samples: int = 3000, seed: int = 0) -> float:
+        """Overall SDC probability via sampled dynamic instances.
+
+        Mirrors the paper's methodology: N dynamic instruction instances
+        are sampled (weighted by execution count); the per-instruction
+        predictions of the sampled static instructions are averaged.
+        """
+        if not self.eligible:
+            return 0.0
+        rng = random.Random(seed)
+        picks = rng.choices(self.eligible, weights=self._weights, k=samples)
+        return sum(self.instruction_sdc(iid) for iid in picks) / samples
+
+    def overall_sdc_exact(self) -> float:
+        """Exact execution-count-weighted average over all instructions."""
+        if not self.eligible:
+            return 0.0
+        total_weight = sum(self._weights)
+        acc = 0.0
+        for iid, weight in zip(self.eligible, self._weights):
+            acc += weight * self.instruction_sdc(iid)
+        return acc / total_weight
+
+    def sdc_map(self, iids=None) -> dict[int, float]:
+        """Per-instruction SDC probabilities (default: all eligible)."""
+        if iids is None:
+            iids = self.eligible
+        return {iid: self.instruction_sdc(iid) for iid in iids}
+
+    # ------------------------------------------------------------------
+    # Crash prediction (extension beyond the paper)
+    # ------------------------------------------------------------------
+
+    def instruction_crash(self, iid: int) -> float:
+        """P(crash | fault activated in instruction ``iid``'s result).
+
+        An extension the paper leaves implicit: the same propagation
+        tuples that discount SDC mass by crashes along the data flow can
+        report that crash mass directly (out-of-bounds addresses from
+        corrupted pointers/indices, divisors flipped to zero).  It only
+        covers crashes on the *register* data flow — crashes of
+        memory-carried corruption are not chased through fm — so it is a
+        lower bound; FI validation shows it ranks instructions well.
+        """
+        inst = self.module.instruction(iid)
+        if not inst.has_result:
+            return 0.0
+        return self.propagator.propagate(inst).crash_probability
+
+    def overall_crash(self, samples: int = 3000, seed: int = 0) -> float:
+        """Overall crash probability via sampled dynamic instances."""
+        if not self.eligible:
+            return 0.0
+        rng = random.Random(seed)
+        picks = rng.choices(self.eligible, weights=self._weights, k=samples)
+        return sum(self.instruction_crash(iid) for iid in picks) / samples
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Profiling (fixed) + inference (incremental) cost, Fig. 6."""
+        return self.profile.profiling_seconds + self.inference_seconds

@@ -1,0 +1,326 @@
+"""Per-instruction propagation tuples (Sec. IV-C).
+
+Each instruction gets a (propagation, masking, crash) tuple: the
+probabilities that an error sitting in one of its operands propagates to
+its result, is masked, or crashes the program, with the three summing
+to 1.  The paper derives these from "the mechanism of the instruction
+and/or the profiled values of the instruction's operands"; we do the
+same, but where the paper hand-derives per-opcode rules we can afford to
+*measure* the tuple, because our IR semantics are executable: for each
+profiled operand sample we flip every operand bit, re-evaluate the
+instruction, and count propagated / masked / trapped results.  This
+covers the paper's cmp, logic and cast masking rules exactly (e.g. the
+``cmp sgt $1, 0`` example of Fig. 2b yields 1/32) and also the divisor-
+becomes-zero crash case.
+
+Instructions without profiled samples — and opcode families the paper
+treats as transparent — default to (1, 0, 0), the paper's heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..interp.errors import ArithmeticTrap
+from ..interp.ops import (
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+)
+from ..ir.bitutils import flip_bit_typed
+from ..ir.instructions import (
+    BinOp,
+    Branch,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from .config import TridentConfig
+
+
+@dataclass(frozen=True)
+class PropTuple:
+    """(propagation, masking, crash) — sums to 1."""
+
+    propagation: float
+    masking: float
+    crash: float
+
+    def __post_init__(self):
+        total = self.propagation + self.masking + self.crash
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ValueError(f"tuple must sum to 1, got {total}")
+
+
+IDENTITY = PropTuple(1.0, 0.0, 0.0)
+
+
+def minmax_cmp_of_select(select: Select):
+    """The comparison of a min/max-shaped select, or None.
+
+    Matches ``select(cmp(a, b), a, b)`` (arms identical to the compared
+    values, in either order) — the lowering of min/max/clamp idioms.
+    """
+    cond = select.cond
+    if not isinstance(cond, (ICmp, FCmp)):
+        return None
+    cmp_operands = {id(cond.lhs), id(cond.rhs)}
+    arms = {id(select.true_value), id(select.false_value)}
+    if cmp_operands != arms:
+        return None
+    return cond
+
+
+def cmp_feeds_only_minmax_selects(cmp, value) -> bool:
+    """Is every use of this comparison a min/max select over ``value``?
+
+    When true, the corruption of ``value`` is fully accounted for by the
+    joint select-arm tuples, and the value→cmp edge must be suppressed
+    in the propagation DAG to avoid double counting the same event.
+    """
+    if not cmp.users:
+        return False
+    for user in cmp.users:
+        if not isinstance(user, Select):
+            return False
+        if minmax_cmp_of_select(user) is not cmp:
+            return False
+        if value not in (user.true_value, user.false_value):
+            return False
+    return True
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        if a != a and b != b:  # both NaN: no observable difference
+            return True
+        return a == b
+    return a == b
+
+
+def _evaluate(inst: Instruction, operands: list):
+    """Re-evaluate a pure instruction on concrete operand values."""
+    if isinstance(inst, BinOp):
+        if inst.type.is_float:
+            return eval_float_binop(inst.op, operands[0], operands[1],
+                                    inst.type.bits)
+        return eval_int_binop(inst.op, operands[0], operands[1],
+                              inst.type.bits)
+    if isinstance(inst, ICmp):
+        return eval_icmp(inst.predicate, operands[0], operands[1],
+                         inst.lhs.type.bits)
+    if isinstance(inst, FCmp):
+        return eval_fcmp(inst.predicate, operands[0], operands[1])
+    if isinstance(inst, Cast):
+        return eval_cast(inst.op, operands[0], inst.value.type, inst.type)
+    raise TypeError(f"cannot re-evaluate {inst.opcode}")
+
+
+class TupleDeriver:
+    """Derives and caches propagation tuples for one profiled program."""
+
+    def __init__(self, profile, config: TridentConfig):
+        self.profile = profile
+        self.config = config
+        self._cache: dict[tuple[int, int], PropTuple] = {}
+
+    def tuple_for(self, inst: Instruction, operand_index: int) -> PropTuple:
+        """Tuple for an error entering ``inst`` via operand ``operand_index``."""
+        key = (inst.iid, operand_index)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._derive(inst, operand_index)
+            self._cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+
+    def _derive(self, inst: Instruction, operand_index: int) -> PropTuple:
+        if isinstance(inst, (BinOp, ICmp, FCmp, Cast)):
+            return self._empirical(inst, operand_index)
+        if isinstance(inst, Select):
+            return self._select_tuple(inst, operand_index)
+        if isinstance(inst, Phi):
+            return self._phi_tuple(inst, operand_index)
+        if isinstance(inst, Load) and operand_index == 0:
+            # Corrupted load address: crash with the footprint-derived
+            # probability; a surviving flip reads wrong data (propagates).
+            crash = self.profile.crash_probability(inst.iid)
+            return PropTuple(1.0 - crash, 0.0, crash)
+        if isinstance(inst, Store) and operand_index == 1:
+            crash = self.profile.crash_probability(inst.iid)
+            return PropTuple(1.0 - crash, 0.0, crash)
+        # gep, call, output, branch, store-value, ret, detect, alloca:
+        # transparent (the paper's default heuristic).
+        return IDENTITY
+
+    def _empirical(self, inst: Instruction, operand_index: int) -> PropTuple:
+        samples = self.profile.samples(inst.iid)
+        if not samples:
+            return self._fallback(inst, operand_index)
+        samples = samples[: self.config.tuple_samples]
+        operand_type = inst.operands[operand_index].type
+        bits = operand_type.bits
+        propagated = masked = crashed = trials = 0
+        for sample in samples:
+            operands = list(sample)
+            if len(operands) <= operand_index:
+                continue
+            try:
+                original = _evaluate(inst, operands)
+            except ArithmeticTrap:
+                continue  # fault-free run cannot have trapped here
+            faulty = list(operands)
+            for bit in range(bits):
+                faulty[operand_index] = flip_bit_typed(
+                    operands[operand_index], bit, operand_type
+                )
+                trials += 1
+                try:
+                    result = _evaluate(inst, faulty)
+                except ArithmeticTrap:
+                    crashed += 1
+                    continue
+                if _values_equal(result, original):
+                    masked += 1
+                else:
+                    propagated += 1
+        if trials == 0:
+            return self._fallback(inst, operand_index)
+        extra_mask = self._fdiv_masking(inst, operand_index)
+        p = (propagated / trials) * (1.0 - extra_mask)
+        c = crashed / trials
+        return PropTuple(p, max(0.0, 1.0 - p - c), c)
+
+    def _fdiv_masking(self, inst: Instruction, operand_index: int) -> float:
+        """Optional extension: fdiv averages out mantissa corruption."""
+        if not self.config.model_fdiv_masking:
+            return 0.0
+        if not (isinstance(inst, BinOp) and inst.op == "fdiv"
+                and operand_index == 0):
+            return 0.0
+        mantissa = inst.type.mantissa_bits
+        return 0.25 * mantissa / inst.type.bits
+
+    def _fallback(self, inst: Instruction, operand_index: int) -> PropTuple:
+        """Analytic tuples when no runtime samples exist."""
+        if isinstance(inst, (ICmp, FCmp)):
+            # Only flips near the comparison boundary matter; without
+            # value knowledge assume ~2 decisive bits (sign + LSB).
+            bits = inst.operands[operand_index].type.bits
+            p = min(1.0, 2.0 / bits)
+            return PropTuple(p, 1.0 - p, 0.0)
+        if isinstance(inst, Cast) and inst.op in ("trunc", "fptrunc"):
+            p = min(1.0, inst.type.bits / inst.value.type.bits)
+            return PropTuple(p, 1.0 - p, 0.0)
+        if isinstance(inst, BinOp) and inst.is_logic:
+            if inst.op == "xor":
+                return IDENTITY
+            return PropTuple(0.5, 0.5, 0.0)  # unknown mask word
+        return IDENTITY
+
+    def _select_tuple(self, inst: Select, operand_index: int) -> PropTuple:
+        true_prob = self.profile.select_true_probability(inst.iid)
+        if operand_index == 0:
+            # A flipped condition matters only when the arms differ.
+            samples = self.profile.samples(inst.iid)
+            if samples:
+                differing = sum(
+                    1 for s in samples
+                    if len(s) == 3 and not _values_equal(s[1], s[2])
+                )
+                p = differing / len(samples)
+            else:
+                p = 1.0
+            return PropTuple(p, 1.0 - p, 0.0)
+        if self.config.model_minmax_joint:
+            joint = self._minmax_joint_tuple(inst, operand_index)
+            if joint is not None:
+                return joint
+        if operand_index == 1:
+            return PropTuple(true_prob, 1.0 - true_prob, 0.0)
+        return PropTuple(1.0 - true_prob, true_prob, 0.0)
+
+    def _phi_tuple(self, inst: Phi, operand_index: int) -> PropTuple:
+        """A phi propagates an operand iff control arrived over its edge;
+        the propagation probability is the profiled edge frequency."""
+        phi_count = self.profile.count(inst.iid)
+        if phi_count == 0:
+            return IDENTITY
+        pred = inst.incoming_blocks[operand_index]
+        terminator = pred.terminator
+        if isinstance(terminator, Branch) and terminator.is_conditional:
+            counts = self.profile.branch_counts.get(terminator.iid, [0, 0])
+            edge = 0
+            if terminator.true_block is inst.parent:
+                edge += counts[1]
+            if terminator.false_block is inst.parent:
+                edge += counts[0]
+        else:
+            edge = self.profile.count(terminator.iid)
+        p = min(1.0, edge / phi_count)
+        return PropTuple(p, 1.0 - p, 0.0)
+
+    # -- min/max select clusters ------------------------------------------
+
+    def _minmax_joint_tuple(self, inst: Select,
+                            operand_index: int) -> PropTuple | None:
+        """Joint tuple for min/max-shaped selects (cmp + select cluster).
+
+        When the select's condition compares the very arms it selects
+        between (``select(a < b, a, b)``), the cmp result and the arm
+        value are driven by the same corrupted operand; composing their
+        tuples independently misses the correlation (a corrupted loser
+        that stays the loser is fully masked).  We therefore evaluate
+        the *pair* empirically on the cmp's profiled operand values.
+        """
+        cmp = minmax_cmp_of_select(inst)
+        if cmp is None:
+            return None
+        samples = self.profile.samples(cmp.iid)
+        if not samples:
+            return None
+        samples = samples[: self.config.tuple_samples]
+        true_is_lhs = inst.true_value is cmp.lhs
+        corrupted_arm = inst.operands[operand_index]
+        position = 0 if corrupted_arm is cmp.lhs else 1
+        operand_type = corrupted_arm.type
+        bits = operand_type.bits
+        is_float = isinstance(cmp, FCmp)
+
+        def evaluate(a, b):
+            if is_float:
+                chosen = eval_fcmp(cmp.predicate, a, b)
+            else:
+                chosen = eval_icmp(cmp.predicate, a, b,
+                                   cmp.lhs.type.bits)
+            true_value = a if true_is_lhs else b
+            false_value = b if true_is_lhs else a
+            return true_value if chosen else false_value
+
+        propagated = trials = 0
+        for sample in samples:
+            if len(sample) < 2:
+                continue
+            a, b = sample[0], sample[1]
+            original = evaluate(a, b)
+            for bit in range(bits):
+                flipped = flip_bit_typed(
+                    (a, b)[position], bit, operand_type
+                )
+                faulty = (flipped, b) if position == 0 else (a, flipped)
+                trials += 1
+                if not _values_equal(evaluate(*faulty), original):
+                    propagated += 1
+        if trials == 0:
+            return None
+        p = propagated / trials
+        return PropTuple(p, 1.0 - p, 0.0)

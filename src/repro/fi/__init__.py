@@ -1,0 +1,17 @@
+"""Fault injection: the ground-truth baseline TRIDENT is compared against."""
+
+from .campaign import (
+    BENIGN,
+    CAUGHT,
+    CRASHED,
+    CampaignResult,
+    FaultInjector,
+    HUNG,
+    OUTCOMES,
+    SDC,
+)
+
+__all__ = [
+    "BENIGN", "CAUGHT", "CRASHED", "CampaignResult", "FaultInjector",
+    "HUNG", "OUTCOMES", "SDC",
+]

@@ -1,0 +1,180 @@
+"""Fault injection campaigns (the paper's FI baseline, LLFI-style).
+
+One campaign = N independent runs; each run injects a single bit flip
+into the destination register of one dynamic instruction instance,
+sampled uniformly over all executed instances whose result is used
+(guaranteeing activation, Sec. V-A2), then executes to completion and
+classifies the outcome against a golden run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..interp.engine import ExecutionEngine, Injection
+from ..interp.result import CRASH, DETECTED, HANG, OK
+from ..ir.module import Module
+
+#: Outcome labels used throughout the evaluation.
+SDC = "sdc"
+BENIGN = "benign"
+CRASHED = "crash"
+HUNG = "hang"
+CAUGHT = "detected"
+
+OUTCOMES = (SDC, CRASHED, HUNG, BENIGN, CAUGHT)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome counts of one FI campaign."""
+
+    counts: dict[str, int] = field(default_factory=lambda: {o: 0 for o in OUTCOMES})
+    wall_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def probability(self, outcome: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts[outcome] / self.total
+
+    @property
+    def sdc_probability(self) -> float:
+        return self.probability(SDC)
+
+    @property
+    def crash_probability(self) -> float:
+        return self.probability(CRASHED)
+
+    @property
+    def benign_probability(self) -> float:
+        return self.probability(BENIGN)
+
+    @property
+    def detected_probability(self) -> float:
+        return self.probability(CAUGHT)
+
+    def margin_of_error(self, outcome: str = SDC,
+                        confidence_z: float = 1.96) -> float:
+        """Half-width of the binomial confidence interval (default 95%)."""
+        n = self.total
+        if n == 0:
+            return 0.0
+        p = self.probability(outcome)
+        return confidence_z * math.sqrt(p * (1.0 - p) / n)
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        merged = CampaignResult()
+        for outcome in OUTCOMES:
+            merged.counts[outcome] = self.counts[outcome] + other.counts[outcome]
+        merged.wall_seconds = self.wall_seconds + other.wall_seconds
+        return merged
+
+
+class FaultInjector:
+    """Runs statistical and per-instruction FI campaigns on one module."""
+
+    def __init__(self, module: Module, engine: ExecutionEngine | None = None,
+                 hang_multiplier: int = 10):
+        self.module = module
+        self.engine = engine or ExecutionEngine(module)
+        self.golden = self.engine.golden()
+        self._golden_outputs = self.golden.outputs
+        counts = self.golden.instruction_counts()
+        # Eligible targets: executed instructions with a destination
+        # register whose value is used by at least one other instruction.
+        self.target_iids: list[int] = []
+        self.target_counts: list[int] = []
+        cumulative = 0
+        self._cumulative: list[int] = []
+        for inst in module.instructions():
+            if not inst.has_result or not inst.users:
+                continue
+            count = counts.get(inst.iid, 0)
+            if count == 0:
+                continue
+            self.target_iids.append(inst.iid)
+            self.target_counts.append(count)
+            cumulative += count
+            self._cumulative.append(cumulative)
+        if not self.target_iids:
+            raise ValueError(f"{module.name}: no injectable instructions")
+        self.total_dynamic_targets = cumulative
+        self.hang_budget = max(
+            10_000, hang_multiplier * self.golden.dynamic_count
+        )
+
+    # ------------------------------------------------------------------
+
+    def sample_injection(self, rng: random.Random) -> Injection:
+        """One fault, uniform over all eligible dynamic instances."""
+        pick = rng.randrange(self.total_dynamic_targets)
+        index = bisect_right(self._cumulative, pick)
+        iid = self.target_iids[index]
+        occurrence = rng.randint(1, self.target_counts[index])
+        bits = self.module.instruction(iid).type.bits
+        return Injection(iid, occurrence, rng.randrange(bits))
+
+    def injection_for(self, iid: int, rng: random.Random) -> Injection:
+        """One fault targeted at a specific static instruction."""
+        try:
+            index = self.target_iids.index(iid)
+        except ValueError:
+            raise ValueError(
+                f"instruction #{iid} is not an eligible injection target"
+            ) from None
+        occurrence = rng.randint(1, self.target_counts[index])
+        bits = self.module.instruction(iid).type.bits
+        return Injection(iid, occurrence, rng.randrange(bits))
+
+    def run_one(self, injection: Injection) -> str:
+        """Execute once with the fault armed and classify the outcome."""
+        result = self.engine.run(injection, budget=self.hang_budget)
+        if result.outcome == CRASH:
+            return CRASHED
+        if result.outcome == HANG:
+            return HUNG
+        if result.outcome == DETECTED:
+            return CAUGHT
+        if result.outputs != self._golden_outputs:
+            return SDC
+        return BENIGN
+
+    # ------------------------------------------------------------------
+
+    def campaign(self, n: int, seed: int = 0) -> CampaignResult:
+        """Statistical campaign: n random faults over the whole program."""
+        rng = random.Random(seed)
+        result = CampaignResult()
+        started = time.perf_counter()
+        for _ in range(n):
+            outcome = self.run_one(self.sample_injection(rng))
+            result.counts[outcome] += 1
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def per_instruction_campaign(
+        self, iids, runs_per_instruction: int, seed: int = 0,
+    ) -> dict[int, CampaignResult]:
+        """Targeted campaign: fixed number of faults per static instruction."""
+        rng = random.Random(seed)
+        results: dict[int, CampaignResult] = {}
+        for iid in iids:
+            result = CampaignResult()
+            started = time.perf_counter()
+            for _ in range(runs_per_instruction):
+                outcome = self.run_one(self.injection_for(iid, rng))
+                result.counts[outcome] += 1
+            result.wall_seconds = time.perf_counter() - started
+            results[iid] = result
+        return results
+
+    def eligible_iids(self) -> list[int]:
+        return list(self.target_iids)

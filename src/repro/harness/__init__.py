@@ -1,0 +1,24 @@
+"""Experiment harness: one runner per table/figure of the evaluation."""
+
+from .ablations import AblationResult, run_ablations
+from .context import BenchmarkContext, ExperimentConfig, QUICK, Workspace
+from .fig5 import Fig5Result, run_fig5
+from .inputs import InputSensitivityResult, run_input_sensitivity
+from .optlevels import OptLevelResult, run_optlevels
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, OVERHEAD_LEVELS, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .report import format_table, percent
+from .runner import EXPERIMENTS, EvaluationReport, run_all, run_experiment
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "AblationResult", "BenchmarkContext", "EXPERIMENTS", "EvaluationReport",
+    "ExperimentConfig", "Fig5Result", "Fig6Result", "Fig7Result",
+    "Fig8Result", "Fig9Result", "OVERHEAD_LEVELS", "QUICK", "Table1Result",
+    "Table2Result", "Workspace", "format_table", "percent", "run_all",
+    "InputSensitivityResult", "OptLevelResult", "run_ablations", "run_experiment", "run_input_sensitivity", "run_optlevels", "run_fig5", "run_fig6", "run_fig7", "run_fig8",
+    "run_fig9", "run_table1", "run_table2",
+]

@@ -1,0 +1,100 @@
+"""Shared per-benchmark state for the experiment harness.
+
+Building a module, profiling it, and constructing engine + injector is
+common to every experiment; :class:`BenchmarkContext` does it once and
+caches the pieces, and :class:`ExperimentConfig` concentrates the size
+knobs so scaled-down CI runs and full evaluation runs share code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..bench.registry import BENCHMARK_NAMES, build_module, get_benchmark
+from ..core.simple_models import build_model
+from ..core.trident import Trident
+from ..fi.campaign import FaultInjector
+from ..interp.engine import ExecutionEngine
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from ..profiling.profiler import ProfilingInterpreter
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Size knobs for one harness run.
+
+    Defaults are a fast-but-meaningful configuration; the paper-scale
+    equivalents (3000 FI samples, 100 per-instruction runs, 11 programs)
+    are what EXPERIMENTS.md records.
+    """
+
+    scale: str = "small"
+    fi_samples: int = 600
+    model_samples: int = 600
+    per_instruction_runs: int = 40
+    max_instructions: int = 120  # cap for per-instruction experiments
+    protection_fi_samples: int = 500
+    seed: int = 2018
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+
+
+#: Small config used by the pytest benchmarks to keep runtimes bounded.
+QUICK = ExperimentConfig(
+    scale="test", fi_samples=200, model_samples=200,
+    per_instruction_runs=20, max_instructions=60,
+    protection_fi_samples=200,
+    benchmarks=("pathfinder", "bfs_rodinia", "hotspot"),
+)
+
+
+class BenchmarkContext:
+    """Lazily built module/profile/engine/injector for one benchmark."""
+
+    def __init__(self, name: str, config: ExperimentConfig):
+        self.name = name
+        self.config = config
+        self.spec = get_benchmark(name)
+
+    @cached_property
+    def module(self) -> Module:
+        return build_module(self.name, self.config.scale)
+
+    @cached_property
+    def profile(self) -> ProgramProfile:
+        profile, outputs = ProfilingInterpreter(self.module).run()
+        golden = self.engine.golden()
+        if outputs != golden.outputs:
+            raise RuntimeError(
+                f"{self.name}: profiler and engine disagree on outputs"
+            )
+        return profile
+
+    @cached_property
+    def engine(self) -> ExecutionEngine:
+        return ExecutionEngine(self.module)
+
+    @cached_property
+    def injector(self) -> FaultInjector:
+        return FaultInjector(self.module, self.engine)
+
+    def model(self, name: str) -> Trident:
+        """A freshly-built model over the cached profile."""
+        return build_model(name, self.module, self.profile)
+
+
+class Workspace:
+    """All benchmark contexts for one harness configuration."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self._contexts: dict[str, BenchmarkContext] = {}
+
+    def context(self, name: str) -> BenchmarkContext:
+        if name not in self._contexts:
+            self._contexts[name] = BenchmarkContext(name, self.config)
+        return self._contexts[name]
+
+    def contexts(self) -> list[BenchmarkContext]:
+        return [self.context(name) for name in self.config.benchmarks]

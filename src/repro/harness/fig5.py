@@ -1,0 +1,105 @@
+"""Figure 5 — overall SDC probabilities: FI vs TRIDENT vs fs+fc vs fs.
+
+Also runs the paper's accompanying paired t-test across benchmarks
+(TRIDENT vs FI; the paper reports p = 0.764, i.e. statistically
+indistinguishable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.simple_models import MODEL_NAMES
+from ..fi.campaign import SDC
+from ..stats import binomial_confidence, mean_absolute_error, paired_t_test
+from .context import Workspace
+from .report import format_table, percent
+
+
+@dataclass
+class Fig5Row:
+    benchmark: str
+    fi_sdc: float
+    fi_margin: float
+    predictions: dict[str, float]  # model name -> overall SDC
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+    mean_fi: float
+    means: dict[str, float]
+    mean_absolute_errors: dict[str, float]
+    trident_vs_fi_p_value: float
+
+    def render(self) -> str:
+        table = format_table(
+            ["Benchmark", "FI", "±", "TRIDENT", "fs+fc", "fs"],
+            [
+                [r.benchmark, percent(r.fi_sdc), percent(r.fi_margin),
+                 percent(r.predictions["trident"]),
+                 percent(r.predictions["fs+fc"]),
+                 percent(r.predictions["fs"])]
+                for r in self.rows
+            ],
+            title="Figure 5: Overall SDC Probabilities",
+        )
+        summary = [
+            "",
+            f"mean FI SDC probability:      {percent(self.mean_fi)}",
+        ]
+        for name in MODEL_NAMES:
+            summary.append(
+                f"mean {name:8s} prediction:   {percent(self.means[name])}"
+                f"   (mean abs error {percent(self.mean_absolute_errors[name])})"
+            )
+        summary.append(
+            f"paired t-test TRIDENT vs FI:  p = "
+            f"{self.trident_vs_fi_p_value:.3f} "
+            f"({'indistinguishable' if self.trident_vs_fi_p_value > 0.05 else 'distinguishable'})"
+        )
+        return table + "\n" + "\n".join(summary)
+
+
+def run_fig5(workspace: Workspace) -> Fig5Result:
+    config = workspace.config
+    rows = []
+    for ctx in workspace.contexts():
+        campaign = ctx.injector.campaign(config.fi_samples, seed=config.seed)
+        interval = binomial_confidence(
+            campaign.counts[SDC], campaign.total
+        )
+        predictions = {
+            name: ctx.model(name).overall_sdc(
+                samples=config.model_samples, seed=config.seed
+            )
+            for name in MODEL_NAMES
+        }
+        rows.append(Fig5Row(
+            benchmark=ctx.name,
+            fi_sdc=campaign.sdc_probability,
+            fi_margin=interval.margin,
+            predictions=predictions,
+        ))
+
+    fi_values = [r.fi_sdc for r in rows]
+    means = {
+        name: sum(r.predictions[name] for r in rows) / len(rows)
+        for name in MODEL_NAMES
+    }
+    maes = {
+        name: mean_absolute_error(
+            [r.predictions[name] for r in rows], fi_values
+        )
+        for name in MODEL_NAMES
+    }
+    t_test = paired_t_test(
+        [r.predictions["trident"] for r in rows], fi_values
+    )
+    return Fig5Result(
+        rows=rows,
+        mean_fi=sum(fi_values) / len(fi_values),
+        means=means,
+        mean_absolute_errors=maes,
+        trident_vs_fi_p_value=t_test.p_value,
+    )

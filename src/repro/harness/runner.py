@@ -1,0 +1,71 @@
+"""Run every experiment of the evaluation and collect the reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .context import ExperimentConfig, Workspace
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+EXPERIMENTS = ("table1", "fig5", "table2", "fig6", "fig7", "fig8", "fig9")
+
+
+@dataclass
+class EvaluationReport:
+    table1: Table1Result
+    fig5: Fig5Result
+    table2: Table2Result
+    fig6: Fig6Result
+    fig7: Fig7Result
+    fig8: Fig8Result
+    fig9: Fig9Result
+
+    def render(self) -> str:
+        return "\n\n\n".join([
+            self.table1.render(),
+            self.fig5.render(),
+            self.table2.render(),
+            self.fig6.render(),
+            self.fig7.render(),
+            self.fig8.render(),
+            self.fig9.render(),
+        ])
+
+
+def run_experiment(name: str, workspace: Workspace):
+    """Run one experiment by id ("table1", "fig5", ...)."""
+    runners = {
+        "table1": run_table1,
+        "fig5": run_fig5,
+        "table2": run_table2,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+    }
+    try:
+        runner = runners[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {EXPERIMENTS}"
+        ) from None
+    return runner(workspace)
+
+
+def run_all(config: ExperimentConfig | None = None,
+            echo: bool = False) -> EvaluationReport:
+    """Run the full evaluation; optionally print each report as it lands."""
+    workspace = Workspace(config)
+    results = {}
+    for name in EXPERIMENTS:
+        results[name] = run_experiment(name, workspace)
+        if echo:
+            print(results[name].render())
+            print()
+    return EvaluationReport(**results)

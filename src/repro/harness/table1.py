@@ -1,0 +1,50 @@
+"""Table I — characteristics of the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .context import Workspace
+from .report import format_table
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    suite: str
+    area: str
+    program_input: str
+    static_instructions: int
+    dynamic_instructions: int
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+
+    def render(self) -> str:
+        return format_table(
+            ["Benchmark", "Suite/Author", "Area", "Input",
+             "Static insts", "Dynamic insts"],
+            [
+                [r.benchmark, r.suite, r.area, r.program_input,
+                 r.static_instructions, r.dynamic_instructions]
+                for r in self.rows
+            ],
+            title="Table I: Characteristics of Benchmarks",
+        )
+
+
+def run_table1(workspace: Workspace) -> Table1Result:
+    rows = []
+    for ctx in workspace.contexts():
+        golden = ctx.engine.golden()
+        rows.append(Table1Row(
+            benchmark=ctx.name,
+            suite=ctx.spec.suite,
+            area=ctx.spec.area,
+            program_input=ctx.spec.input_desc,
+            static_instructions=ctx.module.num_instructions,
+            dynamic_instructions=golden.dynamic_count,
+        ))
+    return Table1Result(rows)

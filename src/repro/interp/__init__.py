@@ -1,0 +1,23 @@
+"""Execution substrate: compiled interpreter, memory model, intrinsics."""
+
+from .engine import ExecutionEngine, Injection
+from .errors import (
+    ArithmeticTrap,
+    DetectionTrap,
+    HangFault,
+    InterpreterBug,
+    MemoryFault,
+    RuntimeFault,
+    StackOverflow,
+)
+from .intrinsics import INTRINSICS, call_intrinsic, is_intrinsic
+from .memory import GLOBAL_BASE, STACK_BASE, GlobalLayout, MemoryState
+from .result import CRASH, DETECTED, HANG, OK, RunResult
+
+__all__ = [
+    "ArithmeticTrap", "CRASH", "DETECTED", "DetectionTrap", "ExecutionEngine",
+    "GLOBAL_BASE", "GlobalLayout", "HANG", "HangFault", "INTRINSICS",
+    "Injection", "InterpreterBug", "MemoryFault", "MemoryState", "OK",
+    "RunResult", "RuntimeFault", "STACK_BASE", "StackOverflow",
+    "call_intrinsic", "is_intrinsic",
+]

@@ -1,0 +1,615 @@
+"""Fast execution engine for the mini-IR.
+
+The engine compiles every instruction once into a small Python closure
+("step"); running a program is then a tight loop over per-block step
+lists.  This is what makes LLFI-style fault-injection campaigns (many
+thousands of complete executions) tractable in pure Python.
+
+Fault injection is built in: a run can be armed with an
+:class:`Injection` naming a static instruction, the k-th dynamic
+occurrence of it, and a bit to flip in its destination register — exactly
+the fault model of the paper (transient fault in a computational
+element's output, Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.bitutils import flip_bit_typed, mask, to_signed
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Output,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import FloatType
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .errors import (
+    ArithmeticTrap,
+    DetectionTrap,
+    HangFault,
+    InterpreterBug,
+    MemoryFault,
+    StackOverflow,
+)
+from .intrinsics import call_intrinsic, is_intrinsic
+from .memory import GlobalLayout, MemoryState
+from .ops import (
+    default_value,
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+    format_output,
+    reinterpret_loaded,
+)
+from .result import CRASH, DETECTED, HANG, OK, RunResult
+
+_MASK64 = mask(64)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A single-bit transient fault in one dynamic instruction instance."""
+
+    iid: int          # static instruction id (must produce a result)
+    occurrence: int   # 1-based dynamic occurrence of that instruction
+    bit: int          # bit position to flip in the destination register
+
+
+class _Frame:
+    """One activation record: value slots plus per-frame alloca cache."""
+
+    __slots__ = ("slots", "allocas", "owned")
+
+    def __init__(self, n_slots: int):
+        self.slots = [None] * n_slots
+        self.allocas: dict[int, int] = {}
+        self.owned: list[int] = []
+
+
+class _State:
+    """Per-run mutable state shared across frames."""
+
+    __slots__ = (
+        "memory", "outputs", "dynamic_count", "budget", "block_counts",
+        "inject_iid", "inject_occurrence", "inject_bit", "occurrence",
+        "activated", "call_depth",
+    )
+
+    def __init__(self, memory: MemoryState, budget: int):
+        self.memory = memory
+        self.outputs: list[str] = []
+        self.dynamic_count = 0
+        self.budget = budget
+        self.block_counts: dict = {}
+        self.inject_iid = -1
+        self.inject_occurrence = 0
+        self.inject_bit = 0
+        self.occurrence = 0
+        self.activated = False
+        self.call_depth = 0
+
+
+# Terminator kinds.
+_T_JUMP, _T_CBR, _T_RET = 0, 1, 2
+
+
+class _CompiledBlock:
+    __slots__ = ("block", "steps", "term_kind", "term_payload", "cost",
+                 "phi_moves")
+
+    def __init__(self, block):
+        self.block = block
+        self.steps = []
+        self.term_kind = _T_RET
+        self.term_payload = None
+        self.cost = 0
+        #: predecessor _CompiledBlock -> [(dest_slot, fetch, iid, type)]
+        self.phi_moves = None
+
+
+class _CompiledFunction:
+    __slots__ = ("function", "n_args", "n_slots", "slot_of", "blocks", "entry")
+
+    def __init__(self, function):
+        self.function = function
+        self.n_args = len(function.args)
+        self.slot_of: dict[int, int] = {}
+        next_slot = self.n_args
+        for inst in function.instructions():
+            if inst.has_result:
+                self.slot_of[id(inst)] = next_slot
+                next_slot += 1
+        self.n_slots = next_slot
+        self.blocks: dict = {}
+        self.entry = None
+
+
+class ExecutionEngine:
+    """Compiles a finalized module and executes it (optionally with a fault)."""
+
+    def __init__(self, module: Module, max_dynamic: int = 20_000_000,
+                 stack_limit: int = 256):
+        if not module.is_finalized:
+            raise ValueError("finalize the module before building an engine")
+        if "main" not in module.functions:
+            raise ValueError("module has no main function")
+        if module.functions["main"].args:
+            raise ValueError("main must take no arguments")
+        self.module = module
+        self.max_dynamic = max_dynamic
+        self.stack_limit = stack_limit
+        self.layout = GlobalLayout(module)
+        self._compiled: dict[str, _CompiledFunction] = {}
+        for function in module.functions.values():
+            self._compiled[function.name] = _CompiledFunction(function)
+        for compiled in self._compiled.values():
+            self._compile_function(compiled)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, injection: Injection | None = None,
+            budget: int | None = None) -> RunResult:
+        """Execute main once; classify crashes/hangs/detections."""
+        memory = MemoryState(self.layout)
+        state = _State(memory, budget or self.max_dynamic)
+        if injection is not None:
+            target = self.module.instruction(injection.iid)
+            if not target.has_result:
+                raise ValueError(
+                    f"instruction #{injection.iid} has no destination register"
+                )
+            if not 0 <= injection.bit < target.type.bits:
+                raise ValueError(
+                    f"bit {injection.bit} out of range for {target.type}"
+                )
+            state.inject_iid = injection.iid
+            state.inject_occurrence = injection.occurrence
+            state.inject_bit = injection.bit
+
+        outcome, crash_reason = OK, ""
+        try:
+            self._call(self._compiled["main"], [], state)
+        except (MemoryFault, ArithmeticTrap, StackOverflow) as fault:
+            outcome, crash_reason = CRASH, str(fault)
+        except HangFault as fault:
+            outcome, crash_reason = HANG, str(fault)
+        except DetectionTrap as fault:
+            outcome, crash_reason = DETECTED, str(fault)
+
+        return RunResult(
+            outcome=outcome,
+            outputs=state.outputs,
+            dynamic_count=state.dynamic_count,
+            crash_reason=crash_reason,
+            activated=state.activated,
+            block_counts=state.block_counts,
+            footprint_bytes=state.memory.footprint_bytes,
+        )
+
+    def golden(self) -> RunResult:
+        """Fault-free reference run; raises if the program itself fails."""
+        result = self.run()
+        if result.outcome != OK:
+            raise InterpreterBug(
+                f"golden run of {self.module.name} failed: "
+                f"{result.outcome} ({result.crash_reason})"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Interpretation loop
+    # ------------------------------------------------------------------
+
+    def _call(self, compiled: _CompiledFunction, args: list, state: _State):
+        if state.call_depth >= self.stack_limit:
+            raise StackOverflow(f"call depth exceeded {self.stack_limit}")
+        state.call_depth += 1
+        frame = _Frame(compiled.n_slots)
+        frame.slots[: compiled.n_args] = args
+        block = compiled.entry
+        previous = None
+        block_counts = state.block_counts
+        try:
+            while True:
+                if block.phi_moves is not None:
+                    moves = block.phi_moves.get(previous)
+                    if moves:
+                        # Parallel copy: evaluate all, then assign.
+                        values = [fetch(frame) for _d, fetch, _i, _t in moves]
+                        for (dest, _fetch, iid, value_type), value in zip(
+                                moves, values):
+                            if state.inject_iid == iid:
+                                value = self._maybe_inject(
+                                    state, value, value_type
+                                )
+                            frame.slots[dest] = value
+                state.dynamic_count += block.cost
+                if state.dynamic_count > state.budget:
+                    raise HangFault(state.dynamic_count)
+                block_counts[block.block] = block_counts.get(block.block, 0) + 1
+                for step in block.steps:
+                    step(state, frame)
+                kind = block.term_kind
+                if kind == _T_JUMP:
+                    previous = block
+                    block = block.term_payload
+                elif kind == _T_CBR:
+                    fetch, true_block, false_block = block.term_payload
+                    previous = block
+                    block = true_block if fetch(frame) else false_block
+                else:  # _T_RET
+                    fetch = block.term_payload
+                    return fetch(frame) if fetch is not None else None
+        finally:
+            state.call_depth -= 1
+            state.memory.free(frame.owned)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _compile_function(self, compiled: _CompiledFunction) -> None:
+        function = compiled.function
+        block_map = {
+            block: _CompiledBlock(block) for block in function.blocks
+        }
+        for block, cblock in block_map.items():
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    continue  # executed as edge moves, not steps
+                if inst.is_terminator:
+                    self._compile_terminator(compiled, cblock, inst, block_map)
+                else:
+                    cblock.steps.append(self._compile_step(compiled, inst))
+            cblock.cost = len(block.instructions)
+        # Phi nodes become parallel copies on each incoming edge.
+        for block, cblock in block_map.items():
+            phis = block.phis()
+            if not phis:
+                continue
+            cblock.phi_moves = {}
+            for pred in block.predecessors:
+                moves = []
+                for phi in phis:
+                    moves.append((
+                        compiled.slot_of[id(phi)],
+                        self._fetch(compiled, phi.value_for(pred)),
+                        phi.iid,
+                        phi.type,
+                    ))
+                cblock.phi_moves[block_map[pred]] = moves
+        compiled.blocks = block_map
+        compiled.entry = block_map[function.entry]
+
+    def _fetch(self, compiled: _CompiledFunction, value: Value):
+        """Closure returning the runtime value of an operand."""
+        if isinstance(value, Constant):
+            constant = value.value
+            return lambda frame: constant
+        if isinstance(value, GlobalVariable):
+            address = self.layout.addresses[value.name]
+            return lambda frame: address
+        if isinstance(value, Argument):
+            index = value.index
+            return lambda frame: frame.slots[index]
+        if isinstance(value, Instruction):
+            slot = compiled.slot_of[id(value)]
+            return lambda frame: frame.slots[slot]
+        raise InterpreterBug(f"cannot fetch {value!r}")
+
+    def _compile_terminator(self, compiled, cblock, inst, block_map) -> None:
+        if isinstance(inst, Branch):
+            if not inst.is_conditional:
+                cblock.term_kind = _T_JUMP
+                cblock.term_payload = block_map[inst.true_block]
+            else:
+                cblock.term_kind = _T_CBR
+                cblock.term_payload = (
+                    self._fetch(compiled, inst.cond),
+                    block_map[inst.true_block],
+                    block_map[inst.false_block],
+                )
+        elif isinstance(inst, Ret):
+            cblock.term_kind = _T_RET
+            cblock.term_payload = (
+                self._fetch(compiled, inst.value)
+                if inst.value is not None else None
+            )
+        else:
+            raise InterpreterBug(f"unknown terminator {inst!r}")
+
+    # -- step compilation ---------------------------------------------------
+
+    def _compile_step(self, compiled, inst: Instruction):
+        if isinstance(inst, BinOp):
+            return self._step_binop(compiled, inst)
+        if isinstance(inst, ICmp):
+            return self._step_icmp(compiled, inst)
+        if isinstance(inst, FCmp):
+            return self._step_fcmp(compiled, inst)
+        if isinstance(inst, Cast):
+            return self._step_cast(compiled, inst)
+        if isinstance(inst, Alloca):
+            return self._step_alloca(compiled, inst)
+        if isinstance(inst, Load):
+            return self._step_load(compiled, inst)
+        if isinstance(inst, Store):
+            return self._step_store(compiled, inst)
+        if isinstance(inst, GetElementPtr):
+            return self._step_gep(compiled, inst)
+        if isinstance(inst, Call):
+            return self._step_call(compiled, inst)
+        if isinstance(inst, Output):
+            return self._step_output(compiled, inst)
+        if isinstance(inst, Select):
+            return self._step_select(compiled, inst)
+        if isinstance(inst, Detect):
+            return self._step_detect(compiled, inst)
+        raise InterpreterBug(f"cannot compile {inst!r}")
+
+    @staticmethod
+    def _maybe_inject(state: _State, value, value_type):
+        """Occurrence bookkeeping + bit flip for the armed injection."""
+        state.occurrence += 1
+        if state.occurrence != state.inject_occurrence:
+            return value
+        state.activated = True
+        return flip_bit_typed(value, state.inject_bit, value_type)
+
+    def _step_binop(self, compiled, inst: BinOp):
+        fa = self._fetch(compiled, inst.lhs)
+        fb = self._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        op = inst.op
+        bits = value_type.bits
+        inject = self._maybe_inject
+
+        if value_type.is_float:
+            evaluate = lambda a, b: eval_float_binop(op, a, b, bits)
+        elif op == "add":
+            bit_mask = mask(bits)
+            evaluate = lambda a, b: (a + b) & bit_mask
+        elif op == "sub":
+            bit_mask = mask(bits)
+            evaluate = lambda a, b: (a - b) & bit_mask
+        elif op == "mul":
+            bit_mask = mask(bits)
+            evaluate = lambda a, b: (a * b) & bit_mask
+        elif op == "and":
+            evaluate = lambda a, b: a & b
+        elif op == "or":
+            evaluate = lambda a, b: a | b
+        elif op == "xor":
+            evaluate = lambda a, b: a ^ b
+        else:
+            evaluate = lambda a, b: eval_int_binop(op, a, b, bits)
+
+        def step(state, frame):
+            value = evaluate(fa(frame), fb(frame))
+            if state.inject_iid == iid:
+                value = inject(state, value, value_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_icmp(self, compiled, inst: ICmp):
+        fa = self._fetch(compiled, inst.lhs)
+        fb = self._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        predicate = inst.predicate
+        bits = inst.lhs.type.bits
+        value_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            value = eval_icmp(predicate, fa(frame), fb(frame), bits)
+            if state.inject_iid == iid:
+                value = inject(state, value, value_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_fcmp(self, compiled, inst: FCmp):
+        fa = self._fetch(compiled, inst.lhs)
+        fb = self._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        predicate = inst.predicate
+        value_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            value = eval_fcmp(predicate, fa(frame), fb(frame))
+            if state.inject_iid == iid:
+                value = inject(state, value, value_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_cast(self, compiled, inst: Cast):
+        fetch = self._fetch(compiled, inst.value)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        op = inst.op
+        from_type = inst.value.type
+        to_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            value = eval_cast(op, fetch(frame), from_type, to_type)
+            if state.inject_iid == iid:
+                value = inject(state, value, to_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_alloca(self, compiled, inst: Alloca):
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        count = inst.count
+        elem_size = inst.elem_type.size_bytes
+        value_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            address = frame.allocas.get(iid)
+            if address is None:
+                address, elements = state.memory.allocate_stack(count, elem_size)
+                frame.allocas[iid] = address
+                frame.owned.extend(elements)
+            if state.inject_iid == iid:
+                address = inject(state, address, value_type)
+            frame.slots[dest] = address
+
+        return step
+
+    def _step_load(self, compiled, inst: Load):
+        fetch = self._fetch(compiled, inst.pointer)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        default = default_value(value_type)
+        inject = self._maybe_inject
+        is_float = value_type.is_float
+        unsigned_max = 0 if is_float else value_type.max_unsigned
+
+        def step(state, frame):
+            value = state.memory.load(fetch(frame), default)
+            # Fast path: the cell matches the load type (always true in
+            # fault-free runs).  A corrupted address may land on a cell
+            # of another type/width: reinterpret like hardware would.
+            if is_float:
+                if value.__class__ is not float:
+                    value = reinterpret_loaded(value, value_type)
+            elif value.__class__ is float or value > unsigned_max:
+                value = reinterpret_loaded(value, value_type)
+            if state.inject_iid == iid:
+                value = inject(state, value, value_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_store(self, compiled, inst: Store):
+        fetch_value = self._fetch(compiled, inst.value)
+        fetch_pointer = self._fetch(compiled, inst.pointer)
+
+        def step(state, frame):
+            state.memory.store(fetch_pointer(frame), fetch_value(frame))
+
+        return step
+
+    def _step_gep(self, compiled, inst: GetElementPtr):
+        fetch_base = self._fetch(compiled, inst.base)
+        fetch_index = self._fetch(compiled, inst.index)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        elem_size = inst.elem_size
+        index_bits = inst.index.type.bits
+        value_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            index = to_signed(fetch_index(frame), index_bits)
+            address = (fetch_base(frame) + index * elem_size) & _MASK64
+            if state.inject_iid == iid:
+                address = inject(state, address, value_type)
+            frame.slots[dest] = address
+
+        return step
+
+    def _step_call(self, compiled, inst: Call):
+        fetches = [self._fetch(compiled, arg) for arg in inst.args]
+        callee = inst.callee
+        result_type = inst.type
+        has_result = inst.has_result
+        dest = compiled.slot_of[id(inst)] if has_result else -1
+        iid = inst.iid
+        inject = self._maybe_inject
+
+        if is_intrinsic(callee) and callee not in self.module.functions:
+            def step(state, frame):
+                args = [fetch(frame) for fetch in fetches]
+                value = call_intrinsic(callee, args, result_type)
+                if state.inject_iid == iid:
+                    value = inject(state, value, result_type)
+                frame.slots[dest] = value
+            return step
+
+        compiled_map = self._compiled
+
+        def step(state, frame):
+            args = [fetch(frame) for fetch in fetches]
+            value = self._call(compiled_map[callee], args, state)
+            if has_result:
+                if state.inject_iid == iid:
+                    value = inject(state, value, result_type)
+                frame.slots[dest] = value
+
+        return step
+
+    def _step_output(self, compiled, inst: Output):
+        fetch = self._fetch(compiled, inst.value)
+        value_type = inst.value.type
+        precision = inst.precision
+
+        def step(state, frame):
+            state.outputs.append(
+                format_output(fetch(frame), value_type, precision)
+            )
+
+        return step
+
+    def _step_select(self, compiled, inst: Select):
+        fetch_cond = self._fetch(compiled, inst.cond)
+        fetch_true = self._fetch(compiled, inst.true_value)
+        fetch_false = self._fetch(compiled, inst.false_value)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        inject = self._maybe_inject
+
+        def step(state, frame):
+            value = fetch_true(frame) if fetch_cond(frame) else fetch_false(frame)
+            if state.inject_iid == iid:
+                value = inject(state, value, value_type)
+            frame.slots[dest] = value
+
+        return step
+
+    def _step_detect(self, compiled, inst: Detect):
+        fetch_a = self._fetch(compiled, inst.original)
+        fetch_b = self._fetch(compiled, inst.duplicate)
+        is_float = inst.original.type.is_float
+        iid = inst.iid
+
+        def step(state, frame):
+            a, b = fetch_a(frame), fetch_b(frame)
+            if a == b:
+                return
+            if is_float and a != a and b != b:  # both NaN: no divergence
+                return
+            raise DetectionTrap(f"detect #{iid}: {a!r} != {b!r}")
+
+        return step

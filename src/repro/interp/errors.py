@@ -1,0 +1,45 @@
+"""Runtime error taxonomy for the interpreter.
+
+These map one-to-one onto the failure classes of the paper's fault model:
+crashes (hardware trap / OS kill), hangs (execution budget exceeded), and
+detections (a protection check fired).
+"""
+
+from __future__ import annotations
+
+
+class RuntimeFault(Exception):
+    """Base class for faults raised while interpreting a program."""
+
+
+class MemoryFault(RuntimeFault):
+    """Out-of-bounds or misaligned memory access: the program crashes."""
+
+    def __init__(self, address: int, kind: str):
+        super().__init__(f"{kind} at invalid address {address:#x}")
+        self.address = address
+        self.kind = kind
+
+
+class ArithmeticTrap(RuntimeFault):
+    """Integer division by zero or signed overflow trap (SIGFPE)."""
+
+
+class HangFault(RuntimeFault):
+    """The dynamic instruction budget was exceeded."""
+
+    def __init__(self, executed: int):
+        super().__init__(f"dynamic instruction budget exceeded ({executed})")
+        self.executed = executed
+
+
+class StackOverflow(RuntimeFault):
+    """Call depth exceeded the stack limit."""
+
+
+class DetectionTrap(RuntimeFault):
+    """A duplication check (detect instruction) observed a mismatch."""
+
+
+class InterpreterBug(RuntimeError):
+    """Internal invariant violation — a bug in this library, not a fault."""

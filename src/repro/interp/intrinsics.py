@@ -1,0 +1,69 @@
+"""Math intrinsics callable from IR without a module-level definition.
+
+Domain errors follow C semantics (NaN / infinities) instead of raising,
+so that corrupted inputs keep executing rather than killing the
+interpreter — a soft error reaching ``sqrt`` of a negative number yields
+NaN, which then propagates through the data flow like it would natively.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.bitutils import truncate_float
+from ..ir.types import FloatType, Type
+
+
+def _guard(fn, *args) -> float:
+    try:
+        return fn(*args)
+    except ValueError:
+        return math.nan
+    except OverflowError:
+        return math.inf
+
+
+def _sqrt(x: float) -> float:
+    return _guard(math.sqrt, x) if x >= 0 or math.isnan(x) else math.nan
+
+
+def _log(x: float) -> float:
+    if x > 0:
+        return _guard(math.log, x)
+    if x == 0:
+        return -math.inf
+    return math.nan
+
+
+def _exp(x: float) -> float:
+    return _guard(math.exp, x)
+
+
+def _pow(x: float, y: float) -> float:
+    return _guard(math.pow, x, y)
+
+
+INTRINSICS = {
+    "sqrt": _sqrt,
+    "exp": _exp,
+    "log": _log,
+    "sin": lambda x: _guard(math.sin, x),
+    "cos": lambda x: _guard(math.cos, x),
+    "fabs": lambda x: abs(x),
+    "pow": _pow,
+    "floor": lambda x: _guard(math.floor, x) if math.isfinite(x) else x,
+    "ceil": lambda x: _guard(math.ceil, x) if math.isfinite(x) else x,
+}
+
+
+def call_intrinsic(name: str, args, result_type: Type):
+    """Invoke an intrinsic, rounding the result to the target FP width."""
+    fn = INTRINSICS[name]
+    result = fn(*[float(a) for a in args])
+    if isinstance(result_type, FloatType):
+        return truncate_float(float(result), result_type)
+    return result
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS

@@ -1,0 +1,231 @@
+"""Value semantics of the mini-IR, shared by the fast engine, the
+profiling interpreter, and the model's tuple derivations.
+
+Integers are kept in canonical unsigned two's-complement form for their
+width; floats are Python floats (f32 results are rounded to single
+precision after every operation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.bitutils import (
+    from_signed,
+    mask,
+    to_signed,
+    truncate_float,
+    wrap_unsigned,
+)
+from ..ir.types import FloatType, IntType, PointerType, Type
+from .errors import ArithmeticTrap
+
+
+# ---------------------------------------------------------------------------
+# Integer binary operations
+# ---------------------------------------------------------------------------
+
+def eval_int_binop(op: str, a: int, b: int, bits: int) -> int:
+    """Evaluate an integer binop on canonical unsigned operands."""
+    if op == "add":
+        return (a + b) & mask(bits)
+    if op == "sub":
+        return (a - b) & mask(bits)
+    if op == "mul":
+        return (a * b) & mask(bits)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b % bits)) & mask(bits)
+    if op == "lshr":
+        return a >> (b % bits)
+    if op == "ashr":
+        return from_signed(to_signed(a, bits) >> (b % bits), bits)
+    if op == "sdiv":
+        sa, sb = to_signed(a, bits), to_signed(b, bits)
+        if sb == 0:
+            raise ArithmeticTrap("signed division by zero")
+        if sa == -(1 << (bits - 1)) and sb == -1:
+            raise ArithmeticTrap("signed division overflow")
+        return from_signed(int(_c_div(sa, sb)), bits)
+    if op == "udiv":
+        if b == 0:
+            raise ArithmeticTrap("unsigned division by zero")
+        return a // b
+    if op == "srem":
+        sa, sb = to_signed(a, bits), to_signed(b, bits)
+        if sb == 0:
+            raise ArithmeticTrap("signed remainder by zero")
+        return from_signed(sa - _c_div(sa, sb) * sb, bits)
+    if op == "urem":
+        if b == 0:
+            raise ArithmeticTrap("unsigned remainder by zero")
+        return a % b
+    raise ValueError(f"unknown integer binop {op}")
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating division (Python's // floors)."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
+# ---------------------------------------------------------------------------
+# Floating point binary operations
+# ---------------------------------------------------------------------------
+
+def eval_float_binop(op: str, a: float, b: float, bits: int) -> float:
+    if op == "fadd":
+        result = a + b
+    elif op == "fsub":
+        result = a - b
+    elif op == "fmul":
+        result = a * b
+    elif op == "fdiv":
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                result = math.nan
+            else:
+                result = math.copysign(math.inf, a) * math.copysign(1.0, b)
+        else:
+            result = a / b
+    elif op == "frem":
+        result = math.fmod(a, b) if b != 0.0 else math.nan
+    else:
+        raise ValueError(f"unknown float binop {op}")
+    if bits == 32:
+        return truncate_float(result, FloatType(32))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+def eval_icmp(pred: str, a: int, b: int, bits: int) -> int:
+    if pred == "eq":
+        return int(a == b)
+    if pred == "ne":
+        return int(a != b)
+    if pred in ("ult", "ule", "ugt", "uge"):
+        if pred == "ult":
+            return int(a < b)
+        if pred == "ule":
+            return int(a <= b)
+        if pred == "ugt":
+            return int(a > b)
+        return int(a >= b)
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    if pred == "slt":
+        return int(sa < sb)
+    if pred == "sle":
+        return int(sa <= sb)
+    if pred == "sgt":
+        return int(sa > sb)
+    if pred == "sge":
+        return int(sa >= sb)
+    raise ValueError(f"unknown icmp predicate {pred}")
+
+
+def eval_fcmp(pred: str, a: float, b: float) -> int:
+    if math.isnan(a) or math.isnan(b):
+        return 0  # ordered comparisons are false on NaN
+    if pred == "oeq":
+        return int(a == b)
+    if pred == "one":
+        return int(a != b)
+    if pred == "olt":
+        return int(a < b)
+    if pred == "ole":
+        return int(a <= b)
+    if pred == "ogt":
+        return int(a > b)
+    if pred == "oge":
+        return int(a >= b)
+    raise ValueError(f"unknown fcmp predicate {pred}")
+
+
+# ---------------------------------------------------------------------------
+# Casts
+# ---------------------------------------------------------------------------
+
+def eval_cast(op: str, value, from_type: Type, to_type: Type):
+    if op == "trunc":
+        return int(value) & mask(to_type.bits)
+    if op == "zext":
+        return int(value)
+    if op == "sext":
+        return from_signed(to_signed(int(value), from_type.bits), to_type.bits)
+    if op == "fptrunc" or op == "fpext":
+        return truncate_float(float(value), to_type)
+    if op == "sitofp":
+        result = float(to_signed(int(value), from_type.bits))
+        return truncate_float(result, to_type)
+    if op == "uitofp":
+        return truncate_float(float(int(value)), to_type)
+    if op in ("fptosi", "fptoui"):
+        return _float_to_int(float(value), to_type, signed=(op == "fptosi"))
+    if op == "bitcast":
+        return value
+    raise ValueError(f"unknown cast {op}")
+
+
+def _float_to_int(value: float, to_type: IntType, signed: bool) -> int:
+    """Saturating float-to-int (LLVM leaves this UB; we saturate)."""
+    if math.isnan(value):
+        return 0
+    if signed:
+        low, high = to_type.min_signed, to_type.max_signed
+    else:
+        low, high = 0, to_type.max_unsigned
+    if value <= low:
+        clamped = low
+    elif value >= high:
+        clamped = high
+    else:
+        clamped = int(value)  # trunc toward zero
+    return from_signed(clamped, to_type.bits) if signed else clamped
+
+
+# ---------------------------------------------------------------------------
+# Output formatting (printf stand-in)
+# ---------------------------------------------------------------------------
+
+def format_output(value, value_type: Type, precision: int | None) -> str:
+    """Render an output value the way the program's printf would."""
+    if isinstance(value_type, IntType):
+        return str(to_signed(int(value), value_type.bits))
+    if isinstance(value_type, FloatType):
+        digits = precision if precision is not None else 17
+        return f"%.{digits}g" % float(value)
+    if isinstance(value_type, PointerType):
+        return f"{int(value):#x}"
+    raise ValueError(f"cannot output a {value_type} value")
+
+
+def default_value(value_type: Type):
+    """Zero value of a type (uninitialized memory reads as zero)."""
+    return 0.0 if value_type.is_float else 0
+
+
+def reinterpret_loaded(value, value_type: Type):
+    """Coerce a memory cell value to the loading instruction's type.
+
+    In fault-free execution every load reads a cell of its own type, but
+    a corrupted address can land on a cell of a different type or width;
+    real hardware would reinterpret the raw bytes, and so do we.
+    """
+    from ..ir.bitutils import bits_to_float, float_to_bits
+
+    if isinstance(value_type, FloatType):
+        if isinstance(value, float):
+            return value
+        return bits_to_float(int(value) & mask(value_type.bits),
+                             value_type.bits)
+    if isinstance(value, float):
+        return float_to_bits(value, 64) & mask(value_type.bits)
+    return int(value) & mask(value_type.bits)

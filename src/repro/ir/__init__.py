@@ -1,0 +1,68 @@
+"""The mini-IR: a typed, LLVM-like intermediate representation.
+
+This package is the substrate the TRIDENT reproduction stands on — the
+equivalent of LLVM IR in the paper.  See DESIGN.md §2 for the mapping.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .dsl import ArrayView, Expr, FunctionBuilder, Local
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Output,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .parser import IRParseError, parse_module
+from .printer import format_instruction, print_function, print_module
+from .types import (
+    F32,
+    F64,
+    FloatType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    parse_type,
+    pointer_to,
+)
+from .values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    Value,
+    const_float,
+    const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayView", "Alloca", "Argument", "BasicBlock", "BinOp", "Branch",
+    "Call", "Cast", "Constant", "Detect", "Expr", "F32", "F64", "FCmp",
+    "FloatType", "Function", "FunctionBuilder", "GetElementPtr",
+    "GlobalVariable", "I1", "I16", "I32", "I64", "I8", "ICmp", "IRBuilder",
+    "IRParseError", "Instruction", "IntType", "Load", "Local", "Module",
+    "Output", "Phi", "PointerType", "Ret", "Select", "Store", "Type", "VOID",
+    "Value", "VerificationError", "const_float", "const_int",
+    "format_instruction", "parse_module", "parse_type", "pointer_to",
+    "print_function", "print_module", "verify_function", "verify_module",
+]

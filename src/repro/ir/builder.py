@@ -1,0 +1,187 @@
+"""Low-level IR builder: appends instructions at a cursor position.
+
+This mirrors ``llvm::IRBuilder``.  The higher-level eDSL used to write the
+benchmark programs lives in :mod:`repro.ir.dsl` and drives this builder.
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Output,
+    Ret,
+    Select,
+    Store,
+)
+from .types import FloatType, IntType, Type, VOID
+from .values import Constant, Value
+
+
+class IRBuilder:
+    """Appends instructions to a basic block, LLVM-style."""
+
+    def __init__(self, function: Function, block: BasicBlock | None = None):
+        self.function = function
+        if block is None:
+            block = function.blocks[-1] if function.blocks else function.add_block("entry")
+        self.block = block
+
+    # -- positioning ----------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def new_block(self, name: str) -> BasicBlock:
+        return self.function.add_block(name)
+
+    def _emit(self, instruction):
+        self.block.append(instruction)
+        return instruction
+
+    # -- constants ------------------------------------------------------------
+
+    def const(self, value, value_type: Type) -> Constant:
+        return Constant(value_type, value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self._emit(BinOp(op, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def udiv(self, lhs, rhs, name=""):
+        return self.binop("udiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def urem(self, lhs, rhs, name=""):
+        return self.binop("urem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs, rhs, name=""):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=""):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._emit(ICmp(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> FCmp:
+        return self._emit(FCmp(predicate, lhs, rhs, name))
+
+    # -- casts -------------------------------------------------------------------
+
+    def cast(self, op: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        return self._emit(Cast(op, value, to_type, name))
+
+    def trunc(self, value, to_type, name=""):
+        return self.cast("trunc", value, to_type, name)
+
+    def zext(self, value, to_type, name=""):
+        return self.cast("zext", value, to_type, name)
+
+    def sext(self, value, to_type, name=""):
+        return self.cast("sext", value, to_type, name)
+
+    def sitofp(self, value, to_type, name=""):
+        return self.cast("sitofp", value, to_type, name)
+
+    def fptosi(self, value, to_type, name=""):
+        return self.cast("fptosi", value, to_type, name)
+
+    def fptrunc(self, value, to_type, name=""):
+        return self.cast("fptrunc", value, to_type, name)
+
+    def fpext(self, value, to_type, name=""):
+        return self.cast("fpext", value, to_type, name)
+
+    # -- memory -------------------------------------------------------------------
+
+    def alloca(self, elem_type: Type, count: int = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(elem_type, count, name))
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self._emit(Load(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self._emit(Store(value, pointer))
+
+    def gep(self, base: Value, index: Value, name: str = "") -> GetElementPtr:
+        return self._emit(GetElementPtr(base, index, name))
+
+    # -- control flow -----------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Branch:
+        return self._emit(Branch(None, target))
+
+    def cond_br(self, cond: Value, true_block: BasicBlock,
+                false_block: BasicBlock) -> Branch:
+        return self._emit(Branch(cond, true_block, false_block))
+
+    def ret(self, value: Value | None = None) -> Ret:
+        return self._emit(Ret(value))
+
+    # -- calls / output / misc ----------------------------------------------------
+
+    def call(self, callee: str, args, result_type: Type = VOID,
+             name: str = "") -> Call:
+        return self._emit(Call(callee, args, result_type, name))
+
+    def output(self, value: Value, precision: int | None = None) -> Output:
+        return self._emit(Output(value, precision))
+
+    def select(self, cond: Value, true_value: Value, false_value: Value,
+               name: str = "") -> Select:
+        return self._emit(Select(cond, true_value, false_value, name))
+
+    def detect(self, original: Value, duplicate: Value) -> Detect:
+        return self._emit(Detect(original, duplicate))

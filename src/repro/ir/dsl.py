@@ -1,0 +1,412 @@
+"""High-level eDSL for writing mini-IR programs in Python.
+
+The benchmark suite (``repro.bench``) is written against this layer.  It
+provides typed expressions with operator overloading, scalar locals and
+arrays backed by stack or global memory, and structured control flow
+(``for_range`` / ``while_`` / ``if_``) that lowers to explicit basic
+blocks and branches — producing exactly the load → arith → cmp/store
+register sequences TRIDENT's static-instruction sub-model analyzes.
+"""
+
+from __future__ import annotations
+
+from .builder import IRBuilder
+from .function import Function
+from .module import Module
+from .types import (
+    F32,
+    F64,
+    FloatType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+)
+from .values import Constant, GlobalVariable, Value
+
+
+class Expr:
+    """A typed value bound to its builder, with operator overloading."""
+
+    __slots__ = ("fb", "value")
+
+    def __init__(self, fb: "FunctionBuilder", value: Value):
+        self.fb = fb
+        self.value = value
+
+    @property
+    def type(self) -> Type:
+        return self.value.type
+
+    # -- coercion ---------------------------------------------------------
+
+    def _coerce(self, other) -> Value:
+        if isinstance(other, Expr):
+            return other.value
+        if isinstance(other, Value):
+            return other
+        if isinstance(other, bool):
+            return Constant(I1, int(other))
+        if isinstance(other, int) and self.type.is_integer:
+            return Constant(self.type, other)
+        if isinstance(other, (int, float)) and self.type.is_float:
+            return Constant(self.type, float(other))
+        raise TypeError(f"cannot coerce {other!r} to {self.type}")
+
+    def _binop(self, int_op: str, float_op: str | None, other,
+               reverse: bool = False) -> "Expr":
+        rhs = self._coerce(other)
+        lhs = self.value
+        if reverse:
+            lhs, rhs = rhs, lhs
+        if self.type.is_float:
+            if float_op is None:
+                raise TypeError(f"{int_op} not defined for floats")
+            return Expr(self.fb, self.fb.b.binop(float_op, lhs, rhs))
+        return Expr(self.fb, self.fb.b.binop(int_op, lhs, rhs))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binop("add", "fadd", other)
+
+    def __radd__(self, other):
+        return self._binop("add", "fadd", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binop("sub", "fsub", other)
+
+    def __rsub__(self, other):
+        return self._binop("sub", "fsub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binop("mul", "fmul", other)
+
+    def __rmul__(self, other):
+        return self._binop("mul", "fmul", other, reverse=True)
+
+    def __truediv__(self, other):
+        if self.type.is_integer:
+            return self._binop("sdiv", None, other)
+        return self._binop("sdiv", "fdiv", other)
+
+    def __rtruediv__(self, other):
+        if self.type.is_integer:
+            return self._binop("sdiv", None, other, reverse=True)
+        return self._binop("sdiv", "fdiv", other, reverse=True)
+
+    def __floordiv__(self, other):
+        return self._binop("sdiv", None, other)
+
+    def __mod__(self, other):
+        return self._binop("srem", None, other)
+
+    def __and__(self, other):
+        return self._binop("and", None, other)
+
+    def __or__(self, other):
+        return self._binop("or", None, other)
+
+    def __xor__(self, other):
+        return self._binop("xor", None, other)
+
+    def __lshift__(self, other):
+        return self._binop("shl", None, other)
+
+    def __rshift__(self, other):
+        return self._binop("ashr", None, other)
+
+    def __neg__(self):
+        if self.type.is_float:
+            zero = Constant(self.type, 0.0)
+            return Expr(self.fb, self.fb.b.fsub(zero, self.value))
+        zero = Constant(self.type, 0)
+        return Expr(self.fb, self.fb.b.sub(zero, self.value))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _cmp(self, int_pred: str, float_pred: str, other) -> "Expr":
+        rhs = self._coerce(other)
+        if self.type.is_float:
+            return Expr(self.fb, self.fb.b.fcmp(float_pred, self.value, rhs))
+        return Expr(self.fb, self.fb.b.icmp(int_pred, self.value, rhs))
+
+    def __lt__(self, other):
+        return self._cmp("slt", "olt", other)
+
+    def __le__(self, other):
+        return self._cmp("sle", "ole", other)
+
+    def __gt__(self, other):
+        return self._cmp("sgt", "ogt", other)
+
+    def __ge__(self, other):
+        return self._cmp("sge", "oge", other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._cmp("eq", "oeq", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._cmp("ne", "one", other)
+
+    __hash__ = None  # Exprs are not hashable (== builds IR)
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_float(self, float_type: FloatType = F64) -> "Expr":
+        if self.type == float_type:
+            return self
+        if self.type.is_integer:
+            return Expr(self.fb, self.fb.b.sitofp(self.value, float_type))
+        if self.type.bits < float_type.bits:
+            return Expr(self.fb, self.fb.b.fpext(self.value, float_type))
+        return Expr(self.fb, self.fb.b.fptrunc(self.value, float_type))
+
+    def to_int(self, int_type: IntType = I32) -> "Expr":
+        if self.type == int_type:
+            return self
+        if self.type.is_float:
+            return Expr(self.fb, self.fb.b.fptosi(self.value, int_type))
+        if self.type.bits < int_type.bits:
+            return Expr(self.fb, self.fb.b.sext(self.value, int_type))
+        return Expr(self.fb, self.fb.b.trunc(self.value, int_type))
+
+
+class Local:
+    """A scalar variable backed by a stack slot (alloca)."""
+
+    def __init__(self, fb: "FunctionBuilder", pointer: Value, elem_type: Type):
+        self.fb = fb
+        self.pointer = pointer
+        self.elem_type = elem_type
+
+    def get(self) -> Expr:
+        return Expr(self.fb, self.fb.b.load(self.pointer))
+
+    def set(self, value) -> None:
+        self.fb.b.store(self.fb.coerce(value, self.elem_type), self.pointer)
+
+
+class ArrayView:
+    """An indexable array backed by stack or global memory."""
+
+    def __init__(self, fb: "FunctionBuilder", base: Value, elem_type: Type):
+        self.fb = fb
+        self.base = base
+        self.elem_type = elem_type
+
+    def addr(self, index) -> Value:
+        index_value = self.fb.coerce(index, I32)
+        return self.fb.b.gep(self.base, index_value)
+
+    def __getitem__(self, index) -> Expr:
+        return Expr(self.fb, self.fb.b.load(self.addr(index)))
+
+    def __setitem__(self, index, value) -> None:
+        pointer = self.addr(index)
+        self.fb.b.store(self.fb.coerce(value, self.elem_type), pointer)
+
+
+class FunctionBuilder:
+    """Structured-programming facade over :class:`IRBuilder`."""
+
+    def __init__(self, module: Module, name: str, arg_types=(), arg_names=(),
+                 return_type: Type = VOID):
+        self.module = module
+        self.function = Function(name, arg_types, arg_names, return_type)
+        module.add_function(self.function)
+        self.b = IRBuilder(self.function)
+        self._label_counter = 0
+
+    # -- values ------------------------------------------------------------------
+
+    def coerce(self, value, target_type: Type) -> Value:
+        """Turn a Python number / Expr / Value into a Value of target_type."""
+        if isinstance(value, Expr):
+            value = value.value
+        if isinstance(value, Value):
+            if value.type != target_type:
+                raise TypeError(
+                    f"type mismatch: have {value.type}, need {target_type}"
+                )
+            return value
+        return Constant(target_type, value)
+
+    def c(self, value, value_type: Type | None = None) -> Expr:
+        """An immediate constant as an Expr."""
+        if value_type is None:
+            value_type = F64 if isinstance(value, float) else I32
+        return Expr(self, Constant(value_type, value))
+
+    def arg(self, index: int) -> Expr:
+        return Expr(self, self.function.args[index])
+
+    def wrap(self, value: Value) -> Expr:
+        return Expr(self, value)
+
+    # -- storage -------------------------------------------------------------------
+
+    def local(self, name: str, elem_type: Type = I32, init=None) -> Local:
+        pointer = self.b.alloca(elem_type, 1, name)
+        variable = Local(self, pointer, elem_type)
+        if init is not None:
+            variable.set(init)
+        return variable
+
+    def array(self, name: str, elem_type: Type, count: int) -> ArrayView:
+        pointer = self.b.alloca(elem_type, count, name)
+        return ArrayView(self, pointer, elem_type)
+
+    def global_array(self, name: str, elem_type: Type, count: int,
+                     initializer=None) -> ArrayView:
+        if name in self.module.globals:
+            global_var = self.module.globals[name]
+        else:
+            global_var = self.module.new_global(name, elem_type, count, initializer)
+        return ArrayView(self, global_var, elem_type)
+
+    # -- control flow -----------------------------------------------------------------
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}{self._label_counter}"
+
+    def _as_cond(self, cond) -> Value:
+        if callable(cond):
+            cond = cond()
+        if isinstance(cond, Expr):
+            cond = cond.value
+        if cond.type != I1:
+            raise TypeError(f"condition must be i1, got {cond.type}")
+        return cond
+
+    def for_range(self, start, stop, body, step: int = 1, name: str = "i"):
+        """``for (name = start; name < stop; name += step) body(name)``.
+
+        ``body`` receives the loop variable as an :class:`Expr` (already
+        loaded at the top of the body block).  A negative ``step`` loops
+        downward with a ``>`` stop condition.
+        """
+        if step == 0:
+            raise ValueError("for_range step must be nonzero")
+        loop_var = self.local(name, I32, init=start)
+        cond_block = self.b.new_block(self._label(f"{name}.cond"))
+        body_block = self.b.new_block(self._label(f"{name}.body"))
+        exit_block = self.b.new_block(self._label(f"{name}.end"))
+        self.b.br(cond_block)
+
+        self.b.position_at_end(cond_block)
+        current = loop_var.get()
+        predicate = (current < stop) if step > 0 else (current > stop)
+        self.b.cond_br(predicate.value, body_block, exit_block)
+
+        self.b.position_at_end(body_block)
+        body(loop_var.get())
+        loop_var.set(loop_var.get() + step)
+        if not self.b.block.is_terminated:
+            self.b.br(cond_block)
+        self.b.position_at_end(exit_block)
+
+    def while_(self, cond, body) -> None:
+        """``while (cond()) body()`` — cond is re-evaluated each iteration."""
+        cond_block = self.b.new_block(self._label("while.cond"))
+        body_block = self.b.new_block(self._label("while.body"))
+        exit_block = self.b.new_block(self._label("while.end"))
+        self.b.br(cond_block)
+
+        self.b.position_at_end(cond_block)
+        self.b.cond_br(self._as_cond(cond), body_block, exit_block)
+
+        self.b.position_at_end(body_block)
+        body()
+        if not self.b.block.is_terminated:
+            self.b.br(cond_block)
+        self.b.position_at_end(exit_block)
+
+    def if_(self, cond, then_body, else_body=None) -> None:
+        """``if (cond) then_body() [else else_body()]``."""
+        condition = self._as_cond(cond)
+        then_block = self.b.new_block(self._label("if.then"))
+        merge_block = self.b.new_block(self._label("if.end"))
+        else_block = (
+            self.b.new_block(self._label("if.else")) if else_body else merge_block
+        )
+        self.b.cond_br(condition, then_block, else_block)
+
+        self.b.position_at_end(then_block)
+        then_body()
+        if not self.b.block.is_terminated:
+            self.b.br(merge_block)
+
+        if else_body:
+            self.b.position_at_end(else_block)
+            else_body()
+            if not self.b.block.is_terminated:
+                self.b.br(merge_block)
+
+        self.b.position_at_end(merge_block)
+
+    # -- selection helpers ---------------------------------------------------------------
+
+    def select(self, cond, true_value: Expr, false_value: Expr) -> Expr:
+        condition = self._as_cond(cond)
+        return Expr(
+            self,
+            self.b.select(
+                condition,
+                true_value.value,
+                self.coerce(false_value, true_value.type),
+            ),
+        )
+
+    def min(self, a: Expr, b) -> Expr:
+        return self.select(a < b, a, self.wrap(a._coerce(b)))
+
+    def max(self, a: Expr, b) -> Expr:
+        return self.select(a > b, a, self.wrap(a._coerce(b)))
+
+    def abs(self, a: Expr) -> Expr:
+        zero = 0.0 if a.type.is_float else 0
+        return self.select(a < zero, -a, a)
+
+    # -- calls, output, return --------------------------------------------------------------
+
+    def call(self, callee: str, args=(), result_type: Type = VOID) -> Expr:
+        arg_values = [a.value if isinstance(a, Expr) else a for a in args]
+        call = self.b.call(callee, arg_values, result_type)
+        return Expr(self, call)
+
+    def sqrt(self, a: Expr) -> Expr:
+        return self.call("sqrt", [a.to_float(a.type if a.type.is_float else F64)],
+                         a.type if a.type.is_float else F64)
+
+    def exp(self, a: Expr) -> Expr:
+        return self.call("exp", [a], a.type)
+
+    def log(self, a: Expr) -> Expr:
+        return self.call("log", [a], a.type)
+
+    def out(self, value, precision: int | None = None) -> None:
+        if isinstance(value, (int, float)):
+            value = self.c(value)
+        if isinstance(value, Expr):
+            value = value.value
+        self.b.output(value, precision)
+
+    def ret(self, value=None) -> None:
+        if value is None:
+            self.b.ret(None)
+            return
+        self.b.ret(self.coerce(value, self.function.return_type))
+
+    def done(self) -> Function:
+        """Seal the function: add an implicit ``ret`` if missing."""
+        if not self.b.block.is_terminated:
+            if self.function.return_type.is_void:
+                self.b.ret(None)
+            else:
+                self.b.ret(Constant(self.function.return_type, 0))
+        return self.function

@@ -1,0 +1,426 @@
+"""Parser for the textual mini-IR form produced by :mod:`repro.ir.printer`.
+
+The parser exists so IR can be written by hand in tests/examples and so
+printed modules round-trip.  It is line-oriented: one construct per line,
+``;`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    CAST_OPS,
+    Detect,
+    FCmp,
+    FCMP_PREDICATES,
+    GetElementPtr,
+    ICmp,
+    ICMP_PREDICATES,
+    BINARY_OPS,
+    Load,
+    Output,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .types import IntType, PointerType, Type, VOID, parse_type
+from .values import Constant, Value
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"%[\w.\-]+"          # local refs / labels
+    r"|@[\w.\-]+"         # globals / functions
+    r"|-?\d+\.\d*(?:[eE][+-]?\d+)?"  # floats like 1.5, 2.0e-3
+    r"|-?\d+[eE][+-]?\d+"  # floats like 1e-05
+    r"|-?\d+"             # integers
+    r"|\w+"               # keywords, types, opcodes
+    r"|[=,:(){}\[\]*]"    # punctuation
+)
+
+_FLOAT_RE = re.compile(r"-?\d+\.\d*(?:[eE][+-]?\d+)?$|-?\d+[eE][+-]?\d+$")
+
+
+def _tokenize(line: str) -> list[str]:
+    return _TOKEN_RE.findall(line)
+
+
+class _Tokens:
+    """Cursor over a token list with small consume helpers."""
+
+    def __init__(self, tokens: list[str], line_no: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise IRParseError("unexpected end of line", self.line_no)
+        self.pos += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise IRParseError(
+                f"expected {expected!r}, got {token!r}", self.line_no
+            )
+
+    def accept(self, expected: str) -> bool:
+        if self.peek() == expected:
+            self.pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+class ModuleParser:
+    """Parses one textual module."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.module: Module | None = None
+
+    def parse(self) -> Module:
+        lines = self.text.splitlines()
+        index = 0
+        module: Module | None = None
+        while index < len(lines):
+            line = self._clean(lines[index])
+            index += 1
+            if not line:
+                continue
+            if line.startswith("module "):
+                module = Module(line.split(None, 1)[1].strip())
+            elif line.startswith("global "):
+                if module is None:
+                    module = Module("anonymous")
+                self._parse_global(module, line, index)
+            elif line.startswith("func "):
+                if module is None:
+                    module = Module("anonymous")
+                index = self._parse_function(module, lines, index - 1) + 1
+            else:
+                raise IRParseError(f"unexpected line: {line!r}", index)
+        if module is None:
+            raise IRParseError("empty module text")
+        return module.finalize()
+
+    @staticmethod
+    def _clean(line: str) -> str:
+        return line.split(";", 1)[0].strip()
+
+    # -- globals ---------------------------------------------------------------
+
+    def _parse_global(self, module: Module, line: str, line_no: int) -> None:
+        match = re.match(
+            r"global @([\w.\-]+) : (\S+) x (\d+) = \[(.*)\]$", line
+        )
+        if not match:
+            raise IRParseError(f"bad global: {line!r}", line_no)
+        name, type_text, count_text, init_text = match.groups()
+        elem_type = parse_type(type_text)
+        count = int(count_text)
+        init_text = init_text.strip()
+        if init_text:
+            raw = [t.strip() for t in init_text.split(",")]
+            if elem_type.is_float:
+                initializer = [float(t) for t in raw]
+            else:
+                initializer = [int(t) for t in raw]
+        else:
+            initializer = [0] * count
+        module.new_global(name, elem_type, count, initializer)
+
+    # -- functions ----------------------------------------------------------------
+
+    def _parse_function(self, module: Module, lines: list[str],
+                        start: int) -> int:
+        header = self._clean(lines[start])
+        match = re.match(r"func @([\w.\-]+)\((.*)\) : (\S+) \{$", header)
+        if not match:
+            raise IRParseError(f"bad function header: {header!r}", start + 1)
+        name, args_text, ret_text = match.groups()
+        arg_types: list[Type] = []
+        if args_text.strip():
+            for piece in args_text.split(","):
+                type_text, _ref = piece.strip().rsplit(" ", 1)
+                arg_types.append(parse_type(type_text.strip()))
+        function = Function(
+            name,
+            arg_types,
+            [f"a{i}" for i in range(len(arg_types))],
+            parse_type(ret_text),
+        )
+        module.add_function(function)
+
+        # First pass: find the body extent and pre-create labelled blocks.
+        body: list[tuple[int, str]] = []
+        end = start + 1
+        while end < len(lines):
+            line = self._clean(lines[end])
+            if line == "}":
+                break
+            if line:
+                body.append((end + 1, line))
+            end += 1
+        else:
+            raise IRParseError(f"function {name} missing closing brace", start + 1)
+
+        blocks: dict[str, BasicBlock] = {}
+        for _line_no, line in body:
+            if line.endswith(":") and " " not in line:
+                label = line[:-1]
+                blocks[label] = function.add_block(label)
+        if not blocks:
+            raise IRParseError(f"function {name} has no blocks", start + 1)
+
+        # Second pass: parse instructions into their blocks.  Phi
+        # operands may reference values defined later (loop-carried),
+        # so those are patched after the body is complete.
+        values: dict[str, Value] = {
+            f"%a{arg.index}": arg for arg in function.args
+        }
+        fixups: list[tuple] = []
+        current: BasicBlock | None = None
+        for line_no, line in body:
+            if line.endswith(":") and " " not in line:
+                current = blocks[line[:-1]]
+                continue
+            if current is None:
+                raise IRParseError("instruction before first label", line_no)
+            self._parse_instruction(
+                module, function, blocks, values, current, line, line_no,
+                fixups,
+            )
+        for phi, index, ref, line_no in fixups:
+            if ref not in values:
+                raise IRParseError(f"undefined phi value {ref}", line_no)
+            phi.replace_operand(index, values[ref])
+        return end
+
+    # -- instructions ---------------------------------------------------------------
+
+    def _parse_operand(self, tokens: _Tokens, module: Module,
+                       values: dict[str, Value]) -> Value:
+        operand_type = self._parse_type(tokens)
+        ref = tokens.next()
+        if ref.startswith("%"):
+            if ref not in values:
+                raise IRParseError(f"undefined value {ref}", tokens.line_no)
+            value = values[ref]
+            if value.type != operand_type:
+                raise IRParseError(
+                    f"{ref} has type {value.type}, expected {operand_type}",
+                    tokens.line_no,
+                )
+            return value
+        if ref.startswith("@"):
+            global_name = ref[1:]
+            if global_name not in module.globals:
+                raise IRParseError(f"undefined global {ref}", tokens.line_no)
+            return module.globals[global_name]
+        if _FLOAT_RE.match(ref) or operand_type.is_float:
+            return Constant(operand_type, float(ref))
+        return Constant(operand_type, int(ref))
+
+    def _parse_type(self, tokens: _Tokens) -> Type:
+        base = parse_type(tokens.next())
+        while tokens.accept("*"):
+            base = PointerType(base)
+        return base
+
+    def _parse_instruction(self, module, function, blocks, values,
+                           block: BasicBlock, line: str, line_no: int,
+                           fixups: list) -> None:
+        tokens = _Tokens(_tokenize(line), line_no)
+        dest: str | None = None
+        first = tokens.peek()
+        if first and first.startswith("%") and tokens.tokens[1:2] == ["="]:
+            dest = tokens.next()
+            tokens.expect("=")
+
+        opcode = tokens.next()
+        if opcode == "phi":
+            inst = self._build_phi(tokens, module, blocks, values, fixups,
+                                   line_no)
+        else:
+            inst = self._build(opcode, tokens, module, function, blocks,
+                               values, dest, line_no)
+        if inst is None:
+            return
+        block.append(inst)
+        if dest is not None:
+            if not inst.has_result:
+                raise IRParseError(
+                    f"{opcode} produces no result but has a destination",
+                    line_no,
+                )
+            inst.name = dest[1:]
+            values[dest] = inst
+
+    def _build(self, opcode, tokens, module, function, blocks, values,
+               dest, line_no):
+        operand = lambda: self._parse_operand(tokens, module, values)
+
+        if opcode in BINARY_OPS:
+            lhs = operand()
+            tokens.expect(",")
+            return BinOp(opcode, lhs, operand())
+        if opcode == "icmp":
+            predicate = tokens.next()
+            if predicate not in ICMP_PREDICATES:
+                raise IRParseError(f"bad icmp predicate {predicate}", line_no)
+            lhs = operand()
+            tokens.expect(",")
+            return ICmp(predicate, lhs, operand())
+        if opcode == "fcmp":
+            predicate = tokens.next()
+            if predicate not in FCMP_PREDICATES:
+                raise IRParseError(f"bad fcmp predicate {predicate}", line_no)
+            lhs = operand()
+            tokens.expect(",")
+            return FCmp(predicate, lhs, operand())
+        if opcode in CAST_OPS:
+            value = operand()
+            tokens.expect("to")
+            return Cast(opcode, value, self._parse_type(tokens))
+        if opcode == "alloca":
+            elem_type = self._parse_type(tokens)
+            tokens.expect("x")
+            return Alloca(elem_type, int(tokens.next()))
+        if opcode == "load":
+            return Load(operand())
+        if opcode == "store":
+            value = operand()
+            tokens.expect(",")
+            return Store(value, operand())
+        if opcode == "gep":
+            base = operand()
+            tokens.expect(",")
+            return GetElementPtr(base, operand())
+        if opcode == "br":
+            if tokens.accept("label"):
+                return Branch(None, self._block_ref(tokens, blocks))
+            cond = operand()
+            tokens.expect(",")
+            tokens.expect("label")
+            true_block = self._block_ref(tokens, blocks)
+            tokens.expect(",")
+            tokens.expect("label")
+            return Branch(cond, true_block, self._block_ref(tokens, blocks))
+        if opcode == "ret":
+            if tokens.exhausted:
+                return Ret(None)
+            return Ret(operand())
+        if opcode == "call":
+            callee = tokens.next()
+            if not callee.startswith("@"):
+                raise IRParseError("call target must be @name", line_no)
+            tokens.expect("(")
+            args = []
+            if not tokens.accept(")"):
+                args.append(operand())
+                while tokens.accept(","):
+                    args.append(operand())
+                tokens.expect(")")
+            tokens.expect(":")
+            result_type = self._parse_type(tokens)
+            return Call(callee[1:], args, result_type)
+        if opcode == "output":
+            value = operand()
+            precision = None
+            if tokens.accept("prec"):
+                precision = int(tokens.next())
+            return Output(value, precision)
+        if opcode == "select":
+            cond = operand()
+            tokens.expect(",")
+            true_value = operand()
+            tokens.expect(",")
+            return Select(cond, true_value, operand())
+        if opcode == "detect":
+            original = operand()
+            tokens.expect(",")
+            return Detect(original, operand())
+        raise IRParseError(f"unknown opcode {opcode!r}", line_no)
+
+    def _build_phi(self, tokens, module, blocks, values, fixups, line_no):
+        """``%n = phi <type> [ <ref>, %block ], ...`` with forward refs."""
+        value_type = self._parse_type(tokens)
+        incoming = []
+        pending = []  # (operand index, unresolved ref)
+        index = 0
+        while tokens.accept("["):
+            ref = tokens.next()
+            tokens.expect(",")
+            label = tokens.next()
+            if not label.startswith("%") or label[1:] not in blocks:
+                raise IRParseError(f"bad phi block {label}", line_no)
+            pred = blocks[label[1:]]
+            value = self._resolve_phi_ref(ref, value_type, module, values)
+            if value is None:
+                # Forward reference: placeholder patched after the body.
+                value = Constant(value_type,
+                                 0.0 if value_type.is_float else 0)
+                pending.append((index, ref))
+            incoming.append((value, pred))
+            tokens.expect("]")
+            tokens.accept(",")
+            index += 1
+        if not incoming:
+            raise IRParseError("phi needs at least one incoming", line_no)
+        phi = Phi(value_type, incoming)
+        for operand_index, ref in pending:
+            fixups.append((phi, operand_index, ref, line_no))
+        return phi
+
+    def _resolve_phi_ref(self, ref, value_type, module, values):
+        if ref.startswith("%"):
+            return values.get(ref)
+        if ref.startswith("@"):
+            if ref[1:] not in module.globals:
+                return None
+            return module.globals[ref[1:]]
+        if value_type.is_float:
+            return Constant(value_type, float(ref))
+        return Constant(value_type, int(ref))
+
+    def _block_ref(self, tokens: _Tokens, blocks) -> BasicBlock:
+        ref = tokens.next()
+        if not ref.startswith("%"):
+            raise IRParseError(f"bad label ref {ref}", tokens.line_no)
+        label = ref[1:]
+        if label not in blocks:
+            raise IRParseError(f"unknown label {label}", tokens.line_no)
+        return blocks[label]
+
+
+def parse_module(text: str) -> Module:
+    """Parse textual IR into a finalized :class:`Module`."""
+    return ModuleParser(text).parse()

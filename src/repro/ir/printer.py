@@ -1,0 +1,134 @@
+"""Textual printer for the mini-IR.
+
+The format round-trips through :mod:`repro.ir.parser`.  Instructions are
+referred to by their static id (``%<iid>``), blocks by label, globals by
+``@name``.  Every operand is printed as ``<type> <ref>`` so the grammar
+stays uniform.
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Output,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+def _ref(value: Value) -> str:
+    if isinstance(value, Constant):
+        if value.type.is_float:
+            return repr(value.value)
+        return str(value.value)
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, Argument):
+        return f"%a{value.index}"
+    if isinstance(value, Instruction):
+        return f"%{value.iid}"
+    raise TypeError(f"cannot print operand {value!r}")
+
+
+def _operand(value: Value) -> str:
+    return f"{value.type} {_ref(value)}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line textual form of an instruction (without indentation)."""
+    if isinstance(inst, BinOp):
+        return (f"%{inst.iid} = {inst.op} {_operand(inst.lhs)}, "
+                f"{_operand(inst.rhs)}")
+    if isinstance(inst, ICmp):
+        return (f"%{inst.iid} = icmp {inst.predicate} {_operand(inst.lhs)}, "
+                f"{_operand(inst.rhs)}")
+    if isinstance(inst, FCmp):
+        return (f"%{inst.iid} = fcmp {inst.predicate} {_operand(inst.lhs)}, "
+                f"{_operand(inst.rhs)}")
+    if isinstance(inst, Cast):
+        return f"%{inst.iid} = {inst.op} {_operand(inst.value)} to {inst.type}"
+    if isinstance(inst, Alloca):
+        return f"%{inst.iid} = alloca {inst.elem_type} x {inst.count}"
+    if isinstance(inst, Load):
+        return f"%{inst.iid} = load {_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        return (f"%{inst.iid} = gep {_operand(inst.base)}, "
+                f"{_operand(inst.index)}")
+    if isinstance(inst, Branch):
+        if not inst.is_conditional:
+            return f"br label %{inst.true_block.name}"
+        return (f"br {_operand(inst.cond)}, label %{inst.true_block.name}, "
+                f"label %{inst.false_block.name}")
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret"
+        return f"ret {_operand(inst.value)}"
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.args)
+        prefix = f"%{inst.iid} = " if inst.has_result else ""
+        return f"{prefix}call @{inst.callee}({args}) : {inst.type}"
+    if isinstance(inst, Output):
+        suffix = f" prec {inst.precision}" if inst.precision is not None else ""
+        return f"output {_operand(inst.value)}{suffix}"
+    if isinstance(inst, Select):
+        return (f"%{inst.iid} = select {_operand(inst.cond)}, "
+                f"{_operand(inst.true_value)}, {_operand(inst.false_value)}")
+    if isinstance(inst, Phi):
+        arms = ", ".join(
+            f"[ {_ref(value)}, %{block.name} ]"
+            for value, block in inst.incoming
+        )
+        return f"%{inst.iid} = phi {inst.type} {arms}"
+    if isinstance(inst, Detect):
+        return f"detect {_operand(inst.original)}, {_operand(inst.duplicate)}"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def print_function(function: Function) -> str:
+    args = ", ".join(f"{a.type} %a{a.index}" for a in function.args)
+    lines = [f"func @{function.name}({args}) : {function.return_type} {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Full textual form of a finalized module."""
+    if not module.is_finalized:
+        raise RuntimeError("finalize the module before printing")
+    lines = [f"module {module.name}", ""]
+    for global_var in module.globals.values():
+        init = ", ".join(
+            repr(v) if global_var.elem_type.is_float else str(v)
+            for v in global_var.initializer
+        )
+        lines.append(
+            f"global @{global_var.name} : {global_var.elem_type} "
+            f"x {global_var.count} = [{init}]"
+        )
+    if module.globals:
+        lines.append("")
+    for function in module.functions.values():
+        lines.append(print_function(function))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Type system for the mini-IR.
+
+The IR is typed in the same spirit as LLVM IR: integer types of explicit
+bit widths, two IEEE-754 floating point types, pointers, and void.  Types
+are immutable and interned where practical so they can be compared with
+``==`` (and the common scalars with ``is``).
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    #: Number of bits a value of this type occupies in a register.
+    bits: int = 0
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of a value of this type when stored to memory."""
+        return max(1, self.bits // 8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self}>"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width (i1, i8, ... i64)."""
+
+    _cache: dict[int, "IntType"] = {}
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits not in cls._cache:
+            if bits < 1 or bits > 64:
+                raise ValueError(f"unsupported integer width: {bits}")
+            instance = super().__new__(cls)
+            instance.bits = bits
+            cls._cache[bits] = instance
+        return cls._cache[bits]
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1))
+
+
+class FloatType(Type):
+    """An IEEE-754 floating point type (f32 or f64)."""
+
+    _cache: dict[int, "FloatType"] = {}
+
+    #: Number of mantissa (fraction) bits, used by the floating point
+    #: output-precision masking rule in the memory sub-model.
+    MANTISSA_BITS = {32: 23, 64: 52}
+    #: Approximate number of significant decimal digits the type carries.
+    DECIMAL_DIGITS = {32: 7, 64: 15}
+
+    def __new__(cls, bits: int) -> "FloatType":
+        if bits not in cls._cache:
+            if bits not in (32, 64):
+                raise ValueError(f"unsupported float width: {bits}")
+            instance = super().__new__(cls)
+            instance.bits = bits
+            cls._cache[bits] = instance
+        return cls._cache[bits]
+
+    def __str__(self) -> str:
+        return "f32" if self.bits == 32 else "f64"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("float", self.bits))
+
+    @property
+    def mantissa_bits(self) -> int:
+        return self.MANTISSA_BITS[self.bits]
+
+    @property
+    def decimal_digits(self) -> int:
+        return self.DECIMAL_DIGITS[self.bits]
+
+
+class PointerType(Type):
+    """A pointer to values of a fixed element type.
+
+    Pointers are 64-bit machine words; the element type records what a
+    load through the pointer produces and how wide a store through it is.
+    """
+
+    bits = 64
+
+    def __init__(self, pointee: Type):
+        if pointee.is_void:
+            raise ValueError("cannot point to void")
+        self.pointee = pointee
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    _instance: "VoidType | None" = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+# Common scalar singletons.
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+VOID = VoidType()
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Convenience constructor for pointer types."""
+    return PointerType(pointee)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual form (``i32``, ``f64``, ``i32*``...)."""
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text == "void":
+        return VOID
+    if text in ("f32", "float"):
+        return F32
+    if text in ("f64", "double"):
+        return F64
+    if text.startswith("i"):
+        try:
+            return IntType(int(text[1:]))
+        except ValueError as exc:
+            raise ValueError(f"bad type: {text!r}") from exc
+    raise ValueError(f"bad type: {text!r}")

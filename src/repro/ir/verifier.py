@@ -1,0 +1,187 @@
+"""IR verifier: structural checks run at module finalization.
+
+Type agreement is enforced at instruction construction; the verifier
+checks the properties that only hold for a whole function/module:
+terminated blocks, intra-function branch targets, operand dominance, and
+call signatures.
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import Branch, Call, Instruction, Phi, Ret
+from .module import Module
+from .values import Argument, Constant, GlobalVariable
+
+
+class VerificationError(ValueError):
+    """Raised when a module violates IR well-formedness rules."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module; raises on the first error."""
+    for function in module.functions.values():
+        verify_function(function, module)
+
+
+def verify_function(function: Function, module: Module | None = None) -> None:
+    if not function.blocks:
+        raise VerificationError(f"{function.name}: function has no blocks")
+
+    blocks = set(function.blocks)
+    for block in function.blocks:
+        if not block.is_terminated:
+            raise VerificationError(
+                f"{function.name}/{block.name}: block is not terminated"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: terminator in the middle "
+                    f"of a block"
+                )
+        terminator = block.terminator
+        if isinstance(terminator, Branch):
+            for target in terminator.targets:
+                if target not in blocks:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: branch to a block of "
+                        f"another function ({target.name})"
+                    )
+        if isinstance(terminator, Ret):
+            value = terminator.value
+            if function.return_type.is_void:
+                if value is not None:
+                    raise VerificationError(
+                        f"{function.name}: ret with value in void function"
+                    )
+            elif value is None or value.type != function.return_type:
+                raise VerificationError(
+                    f"{function.name}: ret type mismatch"
+                )
+
+    _verify_phis(function)
+    _verify_dominance(function)
+    if module is not None:
+        _verify_calls(function, module)
+
+
+def _verify_phis(function: Function) -> None:
+    for block in function.blocks:
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: phi after "
+                        f"non-phi instruction"
+                    )
+                incoming = {id(b) for b in inst.incoming_blocks}
+                predecessors = {id(b) for b in block.predecessors}
+                if incoming != predecessors:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: phi incoming "
+                        f"blocks do not match predecessors"
+                    )
+            else:
+                seen_non_phi = True
+
+
+def _verify_dominance(function: Function) -> None:
+    """Every instruction operand must be defined before every use."""
+    from ..analysis.dominators import compute_dominators
+
+    dominators = compute_dominators(function)
+    position: dict[Instruction, int] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[inst] = index
+
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                # A phi operand must dominate the *incoming edge*, not
+                # the phi itself.
+                for operand, pred in inst.incoming:
+                    if isinstance(operand,
+                                  (Constant, Argument, GlobalVariable)):
+                        continue
+                    def_block = operand.parent
+                    if (def_block is not pred
+                            and def_block not in dominators.get(pred, set())):
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: phi operand "
+                            f"does not dominate its incoming edge"
+                        )
+                continue
+            for operand in inst.operands:
+                if isinstance(operand, (Constant, Argument, GlobalVariable)):
+                    continue
+                if not isinstance(operand, Instruction):
+                    raise VerificationError(
+                        f"{function.name}: bad operand kind {operand!r}"
+                    )
+                def_block = operand.parent
+                if def_block is None or def_block.parent is not function:
+                    raise VerificationError(
+                        f"{function.name}: operand defined in another function"
+                    )
+                if def_block is block:
+                    if position[operand] >= position[inst]:
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: use of "
+                            f"%{operand.name} before its definition"
+                        )
+                elif def_block not in dominators[block]:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: definition of "
+                        f"%{operand.name} does not dominate its use"
+                    )
+
+
+#: Intrinsics callable without a module-level definition, with arity.
+INTRINSIC_ARITY = {
+    "sqrt": 1,
+    "exp": 1,
+    "log": 1,
+    "sin": 1,
+    "cos": 1,
+    "fabs": 1,
+    "pow": 2,
+    "floor": 1,
+    "ceil": 1,
+}
+
+
+def _verify_calls(function: Function, module: Module) -> None:
+    for inst in function.instructions():
+        if not isinstance(inst, Call):
+            continue
+        if inst.callee in module.functions:
+            callee = module.functions[inst.callee]
+            if len(inst.args) != len(callee.args):
+                raise VerificationError(
+                    f"{function.name}: call to {inst.callee} with "
+                    f"{len(inst.args)} args, expected {len(callee.args)}"
+                )
+            for arg, formal in zip(inst.args, callee.args):
+                if arg.type != formal.type:
+                    raise VerificationError(
+                        f"{function.name}: call to {inst.callee} argument "
+                        f"type mismatch ({arg.type} vs {formal.type})"
+                    )
+            if inst.type != callee.return_type:
+                raise VerificationError(
+                    f"{function.name}: call to {inst.callee} return type "
+                    f"mismatch"
+                )
+        elif inst.callee in INTRINSIC_ARITY:
+            if len(inst.args) != INTRINSIC_ARITY[inst.callee]:
+                raise VerificationError(
+                    f"{function.name}: intrinsic {inst.callee} takes "
+                    f"{INTRINSIC_ARITY[inst.callee]} args"
+                )
+        else:
+            raise VerificationError(
+                f"{function.name}: call to unknown function {inst.callee!r}"
+            )

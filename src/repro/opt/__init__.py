@@ -1,0 +1,21 @@
+"""Optimization passes: constant folding, DCE, CFG simplification, and
+mem2reg SSA promotion — producing the register-form IR the paper's -O2
+evaluation operates on."""
+
+from .constfold import fold_constants, replace_all_uses
+from .dce import eliminate_dead_code
+from .mem2reg import promotable_allocas, promote_to_registers
+from .pipeline import OptimizationReport, optimize
+from .simplifycfg import (
+    fold_constant_branches,
+    merge_straightline_blocks,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+
+__all__ = [
+    "OptimizationReport", "eliminate_dead_code", "fold_constant_branches",
+    "fold_constants", "merge_straightline_blocks", "optimize",
+    "promotable_allocas", "promote_to_registers", "remove_unreachable_blocks",
+    "replace_all_uses", "simplify_cfg",
+]

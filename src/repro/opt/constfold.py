@@ -1,0 +1,76 @@
+"""Constant folding: evaluate instructions whose operands are constants.
+
+Uses the interpreter's own semantics (:mod:`repro.interp.ops`) so folded
+results are bit-identical to runtime results.  Potentially-trapping
+instructions (division by a constant zero) are left in place — folding
+them away would erase a runtime crash.
+"""
+
+from __future__ import annotations
+
+from ..interp.errors import ArithmeticTrap
+from ..interp.ops import (
+    eval_cast,
+    eval_fcmp,
+    eval_icmp,
+    eval_float_binop,
+    eval_int_binop,
+)
+from ..ir.function import Function
+from ..ir.instructions import BinOp, Cast, FCmp, ICmp, Instruction, Select
+from ..ir.values import Constant
+
+
+def _fold(inst: Instruction):
+    """The folded Constant, or None if the instruction cannot fold."""
+    if not all(isinstance(op, Constant) for op in inst.operands):
+        return None
+    values = [op.value for op in inst.operands]
+    try:
+        if isinstance(inst, BinOp):
+            if inst.type.is_float:
+                result = eval_float_binop(inst.op, values[0], values[1],
+                                          inst.type.bits)
+            else:
+                result = eval_int_binop(inst.op, values[0], values[1],
+                                        inst.type.bits)
+        elif isinstance(inst, ICmp):
+            result = eval_icmp(inst.predicate, values[0], values[1],
+                               inst.lhs.type.bits)
+        elif isinstance(inst, FCmp):
+            result = eval_fcmp(inst.predicate, values[0], values[1])
+        elif isinstance(inst, Cast):
+            result = eval_cast(inst.op, values[0], inst.value.type, inst.type)
+        elif isinstance(inst, Select):
+            result = values[1] if values[0] else values[2]
+        else:
+            return None
+    except ArithmeticTrap:
+        return None  # preserve the runtime trap
+    return Constant(inst.type, result)
+
+
+def replace_all_uses(inst: Instruction, replacement) -> None:
+    """Point every user of ``inst`` at ``replacement``."""
+    for user in list(inst.users):
+        for index, operand in enumerate(user.operands):
+            if operand is inst:
+                user.replace_operand(index, replacement)
+
+
+def fold_constants(function: Function) -> int:
+    """Fold until fixpoint; returns the number of instructions folded."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                constant = _fold(inst)
+                if constant is None:
+                    continue
+                replace_all_uses(inst, constant)
+                block.remove(inst)
+                folded += 1
+                changed = True
+    return folded

@@ -1,0 +1,49 @@
+"""Dead code elimination: remove unused, side-effect-free results."""
+
+from __future__ import annotations
+
+from ..interp.intrinsics import is_intrinsic
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+)
+
+_PURE_CLASSES = (BinOp, Cast, ICmp, FCmp, Select, GetElementPtr, Load, Phi)
+
+
+def _is_removable(inst: Instruction) -> bool:
+    if not inst.has_result or inst.users:
+        return False
+    if isinstance(inst, _PURE_CLASSES):
+        return True
+    if isinstance(inst, Alloca):
+        return True  # unused stack slot
+    if isinstance(inst, Call):
+        # Intrinsics are pure; user functions may have side effects.
+        return is_intrinsic(inst.callee)
+    return False
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Delete until fixpoint; returns the number of instructions removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in reversed(list(block.instructions)):
+                if _is_removable(inst):
+                    block.remove(inst)
+                    removed += 1
+                    changed = True
+    return removed

@@ -1,0 +1,182 @@
+"""mem2reg: promote stack slots to SSA registers (classic SSA
+construction with pruned phi placement at iterated dominance frontiers).
+
+The builder eDSL emits clang -O0 style code: every variable is an
+alloca, every read a load, every write a store.  TRIDENT's evaluation
+compiles at -O2, where those variables live in registers and error
+propagation happens through long register chains — this pass produces
+that form, phis included, so the model can be studied on both.
+
+A slot is promotable when it holds one element and its address is only
+ever used directly by loads and stores (never stored itself, never
+passed to a call or gep).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import predecessor_map, reachable_blocks
+from ..analysis.dominators import immediate_dominators
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.values import Constant, Value
+
+
+def promotable_allocas(function: Function) -> list[Alloca]:
+    """Single-element slots whose address never escapes."""
+    result = []
+    for inst in function.instructions():
+        if not isinstance(inst, Alloca) or inst.count != 1:
+            continue
+        escapes = False
+        for user in inst.users:
+            if isinstance(user, Load) and user.pointer is inst:
+                continue
+            if (isinstance(user, Store) and user.pointer is inst
+                    and user.value is not inst):
+                continue
+            escapes = True
+            break
+        if not escapes:
+            result.append(inst)
+    return result
+
+
+def _dominance_frontiers(function: Function, idom):
+    """Cytron et al.: DF via idom walks from join-point predecessors."""
+    preds = predecessor_map(function)
+    frontiers: dict[BasicBlock, set[BasicBlock]] = {
+        block: set() for block in function.blocks
+    }
+    for block in function.blocks:
+        block_preds = [p for p in preds[block] if idom.get(p) is not None
+                       or p is function.entry]
+        if len(preds[block]) < 2:
+            continue
+        for pred in preds[block]:
+            runner = pred
+            while runner is not None and runner is not idom.get(block):
+                frontiers.setdefault(runner, set()).add(block)
+                runner = idom.get(runner)
+    return frontiers
+
+
+def promote_to_registers(function: Function) -> int:
+    """Run mem2reg; returns the number of promoted slots."""
+    variables = promotable_allocas(function)
+    if not variables:
+        return 0
+    reachable = reachable_blocks(function)
+    idom = immediate_dominators(function)
+    frontiers = _dominance_frontiers(function, idom)
+
+    # -- phi placement (iterated dominance frontier per variable) -------
+    phi_for: dict[tuple[int, int], Phi] = {}  # (id(var), id(block)) -> phi
+    var_of_phi: dict[int, Alloca] = {}
+    for variable in variables:
+        def_blocks = {
+            user.parent for user in variable.users
+            if isinstance(user, Store)
+        }
+        worklist = [b for b in def_blocks if b in reachable]
+        placed: set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for join in frontiers.get(block, ()):
+                if id(join) in placed or join not in reachable:
+                    continue
+                placed.add(id(join))
+                phi = Phi(variable.elem_type, [
+                    (_undef(variable.elem_type), pred)
+                    for pred in join.predecessors
+                ])
+                join.instructions.insert(0, phi)
+                phi.parent = join
+                phi_for[(id(variable), id(join))] = phi
+                var_of_phi[id(phi)] = variable
+                if join not in def_blocks:
+                    worklist.append(join)
+
+    # -- renaming over the dominator tree --------------------------------
+    children: dict[BasicBlock, list[BasicBlock]] = {
+        block: [] for block in function.blocks
+    }
+    for block, parent in idom.items():
+        if parent is not None:
+            children[parent].append(block)
+
+    variable_ids = {id(v) for v in variables}
+    current: dict[int, Value] = {
+        id(v): _undef(v.elem_type) for v in variables
+    }
+
+    def rename(block: BasicBlock, incoming: dict[int, Value]) -> None:
+        state = dict(incoming)
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and id(inst) in var_of_phi:
+                state[id(var_of_phi[id(inst)])] = inst
+                continue
+            if (isinstance(inst, Load)
+                    and id(inst.pointer) in variable_ids):
+                _replace_all_uses(inst, state[id(inst.pointer)])
+                block.remove(inst)
+                continue
+            if (isinstance(inst, Store)
+                    and id(inst.pointer) in variable_ids):
+                state[id(inst.pointer)] = inst.value
+                block.remove(inst)
+                continue
+        for successor in block.successors:
+            for phi in successor.phis():
+                variable = var_of_phi.get(id(phi))
+                if variable is None:
+                    continue
+                for index, pred in enumerate(phi.incoming_blocks):
+                    if pred is block:
+                        phi.replace_operand(index, state[id(variable)])
+        for child in children.get(block, ()):
+            rename(child, state)
+
+    rename(function.entry, current)
+
+    # -- drop the promoted slots ----------------------------------------
+    for variable in variables:
+        if variable.users:
+            continue  # unreachable-code loads may linger; leave the slot
+        variable.parent.remove(variable)
+    _prune_trivial_phis(function, var_of_phi)
+    return len(variables)
+
+
+def _undef(elem_type) -> Constant:
+    """Reads-before-writes see zero, matching the memory default."""
+    return Constant(elem_type, 0.0 if elem_type.is_float else 0)
+
+
+def _replace_all_uses(inst: Instruction, replacement: Value) -> None:
+    for user in list(inst.users):
+        for index, operand in enumerate(user.operands):
+            if operand is inst:
+                user.replace_operand(index, replacement)
+
+
+def _prune_trivial_phis(function: Function, var_of_phi) -> None:
+    """Remove phis whose incomings are all the same value (or itself)."""
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                if id(phi) not in var_of_phi:
+                    continue
+                sources = {
+                    id(op) for op in phi.operands if op is not phi
+                }
+                if len(sources) != 1:
+                    continue
+                replacement = next(
+                    op for op in phi.operands if op is not phi
+                )
+                _replace_all_uses(phi, replacement)
+                block.remove(phi)
+                changed = True

@@ -1,0 +1,123 @@
+"""CFG simplification: fold constant branches, drop unreachable blocks,
+and merge straight-line block pairs."""
+
+from __future__ import annotations
+
+from ..analysis.cfg import reachable_blocks
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Phi
+from ..ir.values import Constant
+
+
+def _remove_phi_edges(block: BasicBlock, lost_pred: BasicBlock) -> None:
+    """Drop phi incomings from a predecessor that no longer reaches us."""
+    if lost_pred in block.predecessors:
+        return  # still a predecessor through another edge
+    for phi in block.phis():
+        while lost_pred in phi.incoming_blocks:
+            index = phi.incoming_blocks.index(lost_pred)
+            operand = phi.operands[index]
+            if phi in operand.users:
+                operand.users.remove(phi)
+            del phi.operands[index]
+            del phi.incoming_blocks[index]
+
+
+def fold_constant_branches(function: Function) -> int:
+    """Rewrite conditional branches on constants to unconditional ones."""
+    folded = 0
+    for block in function.blocks:
+        terminator = block.terminator
+        if (not isinstance(terminator, Branch)
+                or not terminator.is_conditional
+                or not isinstance(terminator.cond, Constant)):
+            continue
+        taken = terminator.true_block if terminator.cond.value \
+            else terminator.false_block
+        abandoned = terminator.false_block if terminator.cond.value \
+            else terminator.true_block
+        block.remove(terminator)
+        block.append(Branch(None, taken))
+        if abandoned is not taken:
+            _remove_phi_edges(abandoned, block)
+        folded += 1
+    return folded
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks the entry cannot reach (fixing phis of survivors)."""
+    reachable = reachable_blocks(function)
+    doomed = [b for b in function.blocks if b not in reachable]
+    if not doomed:
+        return 0
+    doomed_set = set(doomed)
+    for survivor in reachable:
+        for phi in survivor.phis():
+            for dead in doomed_set:
+                _remove_phi_edges_force(phi, dead)
+    for block in doomed:
+        for inst in list(block.instructions):
+            block.remove(inst)
+        function.blocks.remove(block)
+    return len(doomed)
+
+
+def _remove_phi_edges_force(phi: Phi, pred: BasicBlock) -> None:
+    while pred in phi.incoming_blocks:
+        index = phi.incoming_blocks.index(pred)
+        operand = phi.operands[index]
+        if phi in operand.users:
+            operand.users.remove(phi)
+        del phi.operands[index]
+        del phi.incoming_blocks[index]
+
+
+def merge_straightline_blocks(function: Function) -> int:
+    """Splice B into A when A --(only)--> B and B has no other preds."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            terminator = block.terminator
+            if (not isinstance(terminator, Branch)
+                    or terminator.is_conditional):
+                continue
+            target = terminator.true_block
+            if target is block or target.phis():
+                continue
+            if target.predecessors != [block]:
+                continue
+            # Splice: drop A's branch, move B's instructions into A.
+            block.remove(terminator)
+            for inst in list(target.instructions):
+                target.instructions.remove(inst)
+                inst.parent = block
+                block.instructions.append(inst)
+            # Successors of B that carried phis keyed on B now see A.
+            for successor in block.successors:
+                for phi in successor.phis():
+                    for index, pred in enumerate(phi.incoming_blocks):
+                        if pred is target:
+                            phi.incoming_blocks[index] = block
+            function.blocks.remove(target)
+            merged += 1
+            changed = True
+            break  # block list mutated: restart scan
+    return merged
+
+
+def simplify_cfg(function: Function) -> int:
+    """All three simplifications to fixpoint; returns total rewrites."""
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for transform in (fold_constant_branches, remove_unreachable_blocks,
+                          merge_straightline_blocks):
+            count = transform(function)
+            total += count
+            if count:
+                changed = True
+    return total

@@ -1,0 +1,15 @@
+"""Dynamic profiling: the information TRIDENT's inference phase consumes."""
+
+from .profile import MemDepStats, ProgramProfile
+from .profiler import ProfilingInterpreter
+from .serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+__all__ = [
+    "MemDepStats", "ProfilingInterpreter", "ProgramProfile", "load_profile",
+    "profile_from_dict", "profile_to_dict", "save_profile",
+]

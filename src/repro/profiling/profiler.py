@@ -1,0 +1,350 @@
+"""Profiling interpreter: one instrumented fault-free execution.
+
+A deliberately simple tree-walking interpreter (the fast closure engine
+in :mod:`repro.interp.engine` stays lean for injection campaigns; this
+one pays for hooks).  Both share the value semantics in
+:mod:`repro.interp.ops`, so a program behaves identically under either.
+
+Collected facts (Sec. IV-A "profiling phase"):
+
+* execution counts of every static instruction,
+* direction counts of every conditional branch and select,
+* a reservoir of operand values per instruction (for the fs tuples),
+* P(crash | address-bit flip) samples at loads/stores, computed against
+  the live memory validity set (the paper approximates this from the
+  program's allocated memory size),
+* the pruned memory dependency graph: static store→load edges with
+  dynamic dependency counts, plus per-store read fractions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..interp.errors import InterpreterBug, RuntimeFault
+from ..interp.intrinsics import call_intrinsic, is_intrinsic
+from ..interp.memory import GlobalLayout, MemoryState
+from ..interp.ops import (
+    default_value,
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+    format_output,
+)
+from ..ir.bitutils import mask, to_signed
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Output,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .profile import ProgramProfile
+
+_MASK64 = mask(64)
+_ADDRESS_BITS = 64
+
+
+class ProfilingInterpreter:
+    """Runs a module once and produces a :class:`ProgramProfile`."""
+
+    def __init__(self, module: Module, sample_cap: int = 32,
+                 max_dynamic: int = 50_000_000, seed: int = 2018):
+        if not module.is_finalized:
+            raise ValueError("finalize the module before profiling")
+        self.module = module
+        self.sample_cap = sample_cap
+        self.max_dynamic = max_dynamic
+        self.rng = random.Random(seed)
+        self.layout = GlobalLayout(module)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> tuple[ProgramProfile, list[str]]:
+        """Profile one fault-free execution; returns (profile, outputs)."""
+        started = time.perf_counter()
+        profile = ProgramProfile()
+        memory = MemoryState(self.layout)
+        outputs: list[str] = []
+        # addr -> [store_iid, set-of-reader-load-iids]
+        last_writer: dict[int, list] = {}
+        state = _ProfState(profile, memory, outputs, last_writer,
+                           self.rng, self.sample_cap, self.max_dynamic)
+        try:
+            self._call(self.module.main, [], state)
+        except RuntimeFault as fault:
+            raise InterpreterBug(
+                f"profiling run of {self.module.name} faulted: {fault}"
+            ) from fault
+
+        # Flush pending store instances for read-fraction accounting.
+        for store_iid, readers in last_writer.values():
+            state.finish_instance(store_iid, readers)
+        profile.dynamic_count = state.dynamic_count
+        profile.footprint_bytes = memory.footprint_bytes
+        profile.memdep_stats.dynamic_dependencies = state.dynamic_deps
+        profile.memdep_stats.static_edges = len(profile.mem_edges)
+        profile.profiling_seconds = time.perf_counter() - started
+        return profile, outputs
+
+    # ------------------------------------------------------------------
+
+    def _call(self, function, args: list, state: "_ProfState"):
+        env: dict[int, object] = {}
+        for formal, actual in zip(function.args, args):
+            env[id(formal)] = actual
+        allocas: dict[int, int] = {}
+        owned: list[int] = []
+        block = function.entry
+        previous = None
+        try:
+            while True:
+                phis = block.phis()
+                if phis:
+                    # Parallel copy semantics: read all, then bind.
+                    values = [
+                        self._value(phi.value_for(previous), env, state)
+                        for phi in phis
+                    ]
+                    for phi, value in zip(phis, values):
+                        state.tick(phi.iid)
+                        env[id(phi)] = value
+                next_block = None
+                for inst in block.instructions[len(phis):]:
+                    state.tick(inst.iid)
+                    if isinstance(inst, Branch):
+                        next_block = self._exec_branch(inst, env, state)
+                        break
+                    if isinstance(inst, Ret):
+                        if inst.value is None:
+                            return None
+                        return self._value(inst.value, env, state)
+                    self._exec(inst, env, state, allocas, owned)
+                if next_block is None:
+                    raise InterpreterBug(
+                        f"block {block.name} fell through without terminator"
+                    )
+                previous = block
+                block = next_block
+        finally:
+            state.memory.free(owned)
+
+    def _value(self, value: Value, env: dict, state: "_ProfState"):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalVariable):
+            return self.layout.addresses[value.name]
+        if isinstance(value, (Argument,)) or True:
+            try:
+                return env[id(value)]
+            except KeyError:
+                raise InterpreterBug(f"unbound value {value!r}") from None
+
+    def _exec_branch(self, inst: Branch, env, state):
+        if not inst.is_conditional:
+            return inst.true_block
+        taken = bool(self._value(inst.cond, env, state))
+        counts = state.profile.branch_counts.setdefault(inst.iid, [0, 0])
+        counts[1 if taken else 0] += 1
+        return inst.true_block if taken else inst.false_block
+
+    # ------------------------------------------------------------------
+
+    def _exec(self, inst, env, state: "_ProfState", allocas, owned) -> None:
+        value_of = self._value
+        if isinstance(inst, BinOp):
+            a = value_of(inst.lhs, env, state)
+            b = value_of(inst.rhs, env, state)
+            state.sample_operands(inst.iid, (a, b))
+            if inst.type.is_float:
+                env[id(inst)] = eval_float_binop(inst.op, a, b, inst.type.bits)
+            else:
+                env[id(inst)] = eval_int_binop(inst.op, a, b, inst.type.bits)
+        elif isinstance(inst, ICmp):
+            a = value_of(inst.lhs, env, state)
+            b = value_of(inst.rhs, env, state)
+            state.sample_operands(inst.iid, (a, b))
+            env[id(inst)] = eval_icmp(inst.predicate, a, b, inst.lhs.type.bits)
+        elif isinstance(inst, FCmp):
+            a = value_of(inst.lhs, env, state)
+            b = value_of(inst.rhs, env, state)
+            state.sample_operands(inst.iid, (a, b))
+            env[id(inst)] = eval_fcmp(inst.predicate, a, b)
+        elif isinstance(inst, Cast):
+            value = value_of(inst.value, env, state)
+            state.sample_operands(inst.iid, (value,))
+            env[id(inst)] = eval_cast(
+                inst.op, value, inst.value.type, inst.type
+            )
+        elif isinstance(inst, Alloca):
+            address = allocas.get(inst.iid)
+            if address is None:
+                address, elements = state.memory.allocate_stack(
+                    inst.count, inst.elem_type.size_bytes
+                )
+                allocas[inst.iid] = address
+                owned.extend(elements)
+            env[id(inst)] = address
+        elif isinstance(inst, Load):
+            address = value_of(inst.pointer, env, state)
+            state.sample_memory_access(inst.iid, address)
+            env[id(inst)] = state.memory.load(
+                address, default_value(inst.type)
+            )
+            state.record_load(inst.iid, address)
+        elif isinstance(inst, Store):
+            address = value_of(inst.pointer, env, state)
+            state.sample_memory_access(inst.iid, address)
+            value = value_of(inst.value, env, state)
+            previous = state.memory.cells.get(address)
+            state.memory.store(address, value)
+            state.record_store(inst.iid, address, value == previous)
+        elif isinstance(inst, GetElementPtr):
+            base = value_of(inst.base, env, state)
+            index = to_signed(
+                value_of(inst.index, env, state), inst.index.type.bits
+            )
+            env[id(inst)] = (base + index * inst.elem_size) & _MASK64
+        elif isinstance(inst, Call):
+            args = [value_of(arg, env, state) for arg in inst.args]
+            if inst.callee in self.module.functions:
+                result = self._call(
+                    self.module.functions[inst.callee], args, state
+                )
+            elif is_intrinsic(inst.callee):
+                result = call_intrinsic(inst.callee, args, inst.type)
+            else:
+                raise InterpreterBug(f"unknown callee {inst.callee}")
+            if inst.has_result:
+                env[id(inst)] = result
+        elif isinstance(inst, Output):
+            value = value_of(inst.value, env, state)
+            state.outputs.append(
+                format_output(value, inst.value.type, inst.precision)
+            )
+        elif isinstance(inst, Select):
+            cond = bool(value_of(inst.cond, env, state))
+            counts = state.profile.select_counts.setdefault(inst.iid, [0, 0])
+            counts[1 if cond else 0] += 1
+            true_value = value_of(inst.true_value, env, state)
+            false_value = value_of(inst.false_value, env, state)
+            state.sample_operands(
+                inst.iid, (int(cond), true_value, false_value)
+            )
+            env[id(inst)] = true_value if cond else false_value
+        elif isinstance(inst, Detect):
+            pass  # never fires on a fault-free run
+        else:
+            raise InterpreterBug(f"cannot profile {inst!r}")
+
+
+class _ProfState:
+    """Mutable state threaded through the profiling walk."""
+
+    __slots__ = (
+        "profile", "memory", "outputs", "last_writer", "rng", "sample_cap",
+        "max_dynamic", "dynamic_count", "dynamic_deps",
+    )
+
+    def __init__(self, profile, memory, outputs, last_writer, rng,
+                 sample_cap, max_dynamic):
+        self.profile = profile
+        self.memory = memory
+        self.outputs = outputs
+        self.last_writer = last_writer
+        self.rng = rng
+        self.sample_cap = sample_cap
+        self.max_dynamic = max_dynamic
+        self.dynamic_count = 0
+        self.dynamic_deps = 0
+
+    def tick(self, iid: int) -> None:
+        self.dynamic_count += 1
+        if self.dynamic_count > self.max_dynamic:
+            raise InterpreterBug("profiling run exceeded dynamic budget")
+        counts = self.profile.inst_counts
+        counts[iid] = counts.get(iid, 0) + 1
+
+    def sample_operands(self, iid: int, operands: tuple) -> None:
+        """Reservoir-sample the operand tuple of one dynamic instance."""
+        reservoir = self.profile.operand_samples.setdefault(iid, [])
+        seen = self.profile.inst_counts[iid]  # includes this instance
+        if len(reservoir) < self.sample_cap:
+            reservoir.append(operands)
+            return
+        slot = self.rng.randrange(seen)
+        if slot < self.sample_cap:
+            reservoir[slot] = operands
+
+    def sample_memory_access(self, iid: int, address: int) -> None:
+        """Sample P(crash) over single-bit flips of this access address."""
+        reservoir = self.profile.crash_prob_samples.setdefault(iid, [])
+        seen = self.profile.inst_counts[iid]
+        if len(reservoir) >= self.sample_cap:
+            slot = self.rng.randrange(seen)
+            if slot >= self.sample_cap:
+                return
+        else:
+            slot = len(reservoir)
+        invalid = 0
+        valid = self.memory.valid
+        for bit in range(_ADDRESS_BITS):
+            if (address ^ (1 << bit)) not in valid:
+                invalid += 1
+        crash_prob = invalid / _ADDRESS_BITS
+        if slot < len(reservoir):
+            reservoir[slot] = crash_prob
+        else:
+            reservoir.append(crash_prob)
+
+    def record_store(self, iid: int, address: int,
+                     silent: bool = False) -> None:
+        profile = self.profile
+        previous = self.last_writer.get(address)
+        if previous is not None:
+            self.finish_instance(previous[0], previous[1])
+        self.last_writer[address] = [iid, None]
+        profile.store_instances[iid] = profile.store_instances.get(iid, 0) + 1
+        if silent:
+            profile.silent_stores[iid] = profile.silent_stores.get(iid, 0) + 1
+
+    def finish_instance(self, store_iid: int, readers) -> None:
+        """Close out one store instance: record who read it."""
+        profile = self.profile
+        if readers:
+            profile.store_instances_read[store_iid] = (
+                profile.store_instances_read.get(store_iid, 0) + 1
+            )
+            key = (store_iid, frozenset(readers))
+        else:
+            key = (store_iid, frozenset())
+        sets = profile.store_reader_sets
+        sets[key] = sets.get(key, 0) + 1
+
+    def record_load(self, iid: int, address: int) -> None:
+        entry = self.last_writer.get(address)
+        if entry is None:
+            return
+        self.dynamic_deps += 1
+        key = (entry[0], iid)
+        edges = self.profile.mem_edges
+        edges[key] = edges.get(key, 0) + 1
+        if entry[1] is None:
+            entry[1] = {iid}
+        else:
+            entry[1].add(iid)

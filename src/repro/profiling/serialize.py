@@ -1,0 +1,124 @@
+"""Profile serialization: save/load a ProgramProfile as JSON.
+
+Profiling is TRIDENT's only fixed cost; persisting the profile lets
+downstream tooling (CI dashboards, repeated what-if protection studies)
+rebuild models without re-running the program.  The format is plain
+JSON with explicit versioning; frozensets and tuple keys are encoded as
+sorted lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .profile import MemDepStats, ProgramProfile
+
+FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: ProgramProfile) -> dict:
+    """A JSON-safe dictionary capturing the whole profile."""
+    return {
+        "version": FORMAT_VERSION,
+        "inst_counts": {str(k): v for k, v in profile.inst_counts.items()},
+        "branch_counts": {
+            str(k): v for k, v in profile.branch_counts.items()
+        },
+        "select_counts": {
+            str(k): v for k, v in profile.select_counts.items()
+        },
+        "operand_samples": {
+            str(k): [list(sample) for sample in v]
+            for k, v in profile.operand_samples.items()
+        },
+        "crash_prob_samples": {
+            str(k): v for k, v in profile.crash_prob_samples.items()
+        },
+        "mem_edges": [
+            [store, load, count]
+            for (store, load), count in profile.mem_edges.items()
+        ],
+        "store_instances": {
+            str(k): v for k, v in profile.store_instances.items()
+        },
+        "store_instances_read": {
+            str(k): v for k, v in profile.store_instances_read.items()
+        },
+        "silent_stores": {
+            str(k): v for k, v in profile.silent_stores.items()
+        },
+        "store_reader_sets": [
+            [store, sorted(readers), count]
+            for (store, readers), count in profile.store_reader_sets.items()
+        ],
+        "dynamic_count": profile.dynamic_count,
+        "footprint_bytes": profile.footprint_bytes,
+        "memdep_stats": {
+            "dynamic_dependencies":
+                profile.memdep_stats.dynamic_dependencies,
+            "static_edges": profile.memdep_stats.static_edges,
+        },
+        "profiling_seconds": profile.profiling_seconds,
+    }
+
+
+def profile_from_dict(data: dict) -> ProgramProfile:
+    """Rebuild a profile from :func:`profile_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    profile = ProgramProfile()
+    profile.inst_counts = {
+        int(k): v for k, v in data["inst_counts"].items()
+    }
+    profile.branch_counts = {
+        int(k): list(v) for k, v in data["branch_counts"].items()
+    }
+    profile.select_counts = {
+        int(k): list(v) for k, v in data["select_counts"].items()
+    }
+    profile.operand_samples = {
+        int(k): [tuple(sample) for sample in v]
+        for k, v in data["operand_samples"].items()
+    }
+    profile.crash_prob_samples = {
+        int(k): list(v) for k, v in data["crash_prob_samples"].items()
+    }
+    profile.mem_edges = {
+        (store, load): count for store, load, count in data["mem_edges"]
+    }
+    profile.store_instances = {
+        int(k): v for k, v in data["store_instances"].items()
+    }
+    profile.store_instances_read = {
+        int(k): v for k, v in data["store_instances_read"].items()
+    }
+    profile.silent_stores = {
+        int(k): v for k, v in data.get("silent_stores", {}).items()
+    }
+    profile.store_reader_sets = {
+        (store, frozenset(readers)): count
+        for store, readers, count in data["store_reader_sets"]
+    }
+    profile.dynamic_count = data["dynamic_count"]
+    profile.footprint_bytes = data["footprint_bytes"]
+    profile.memdep_stats = MemDepStats(
+        dynamic_dependencies=data["memdep_stats"]["dynamic_dependencies"],
+        static_edges=data["memdep_stats"]["static_edges"],
+    )
+    profile.profiling_seconds = data["profiling_seconds"]
+    return profile
+
+
+def save_profile(profile: ProgramProfile, path) -> None:
+    """Write a profile to a JSON file."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+
+
+def load_profile(path) -> ProgramProfile:
+    """Read a profile back from :func:`save_profile` output."""
+    return profile_from_dict(json.loads(Path(path).read_text()))

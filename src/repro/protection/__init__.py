@@ -1,0 +1,26 @@
+"""Selective instruction duplication guided by the models (Sec. VI)."""
+
+from .duplication import (
+    DUPLICABLE,
+    DuplicationReport,
+    clone_module,
+    duplicable_iids,
+    duplicate_instructions,
+    is_duplicable,
+)
+from .evaluate import (
+    ProtectionOutcome,
+    duplication_cost,
+    evaluate_protection,
+    full_duplication_cost,
+    select_instructions,
+)
+from .knapsack import KnapsackItem, greedy_select, knapsack_select
+
+__all__ = [
+    "DUPLICABLE", "DuplicationReport", "KnapsackItem", "ProtectionOutcome",
+    "clone_module", "duplicable_iids", "duplicate_instructions",
+    "duplication_cost", "evaluate_protection", "full_duplication_cost",
+    "greedy_select", "is_duplicable", "knapsack_select",
+    "select_instructions",
+]

@@ -1,0 +1,113 @@
+"""End-to-end selective protection pipeline (Sec. VI / Fig. 8).
+
+Given a program and a model name, predict per-instruction SDC
+probabilities, choose instructions with the knapsack under an overhead
+bound (a fraction of the full-duplication overhead), apply the
+duplication pass, and measure the protected program's SDC probability
+with fault injection (FI is used only for evaluation, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.simple_models import build_model
+from ..fi.campaign import CampaignResult, FaultInjector
+from ..interp.engine import ExecutionEngine
+from ..ir.module import Module
+from ..profiling.profile import ProgramProfile
+from .duplication import (
+    DuplicationReport,
+    duplicable_iids,
+    duplicate_instructions,
+)
+from .knapsack import KnapsackItem, knapsack_select
+
+
+@dataclass
+class ProtectionOutcome:
+    """Result of protecting one program at one overhead level."""
+
+    model_name: str
+    overhead_bound: float            # requested, as fraction of full dup
+    selected_iids: set[int] = field(default_factory=set)
+    measured_overhead: float = 0.0   # dynamic-instruction overhead
+    baseline: CampaignResult | None = None
+    protected: CampaignResult | None = None
+    report: DuplicationReport | None = None
+
+    @property
+    def baseline_sdc(self) -> float:
+        return self.baseline.sdc_probability if self.baseline else 0.0
+
+    @property
+    def protected_sdc(self) -> float:
+        return self.protected.sdc_probability if self.protected else 0.0
+
+    @property
+    def sdc_reduction(self) -> float:
+        """Fractional SDC probability reduction achieved (Fig. 8)."""
+        if self.baseline_sdc == 0.0:
+            return 0.0
+        return 1.0 - self.protected_sdc / self.baseline_sdc
+
+
+def duplication_cost(profile: ProgramProfile, iid: int) -> int:
+    """Extra dynamic instructions for protecting one instruction.
+
+    One clone per execution, plus (pessimistically) one check — chains
+    share checks, so this slightly over-estimates, which only makes the
+    knapsack conservative.
+    """
+    return 2 * profile.count(iid)
+
+
+def full_duplication_cost(module: Module, profile: ProgramProfile) -> int:
+    """Dynamic cost of duplicating every duplicable instruction."""
+    return sum(duplication_cost(profile, iid) for iid in duplicable_iids(module))
+
+
+def select_instructions(module: Module, profile: ProgramProfile,
+                        model_name: str,
+                        overhead_fraction: float) -> set[int]:
+    """Knapsack-choose the iids to protect under the overhead bound."""
+    model = build_model(model_name, module, profile)
+    candidates = [
+        iid for iid in duplicable_iids(module) if profile.count(iid) > 0
+    ]
+    items = [
+        KnapsackItem(
+            key=iid,
+            cost=duplication_cost(profile, iid),
+            profit=model.instruction_sdc(iid) * profile.count(iid),
+        )
+        for iid in candidates
+    ]
+    capacity = int(full_duplication_cost(module, profile) * overhead_fraction)
+    return knapsack_select(items, capacity)
+
+
+def evaluate_protection(module: Module, profile: ProgramProfile,
+                        model_name: str, overhead_fraction: float,
+                        fi_samples: int = 1000,
+                        seed: int = 0) -> ProtectionOutcome:
+    """Protect with one model at one overhead level; measure with FI."""
+    outcome = ProtectionOutcome(model_name, overhead_fraction)
+    outcome.selected_iids = select_instructions(
+        module, profile, model_name, overhead_fraction
+    )
+    protected_module, outcome.report = duplicate_instructions(
+        module, outcome.selected_iids
+    )
+
+    baseline_engine = ExecutionEngine(module)
+    protected_engine = ExecutionEngine(protected_module)
+    baseline_dynamic = baseline_engine.golden().dynamic_count
+    protected_dynamic = protected_engine.golden().dynamic_count
+    outcome.measured_overhead = protected_dynamic / baseline_dynamic - 1.0
+
+    baseline_fi = FaultInjector(module, baseline_engine)
+    protected_fi = FaultInjector(protected_module, protected_engine)
+    outcome.baseline = baseline_fi.campaign(fi_samples, seed=seed)
+    outcome.protected = protected_fi.campaign(fi_samples, seed=seed + 1)
+    return outcome

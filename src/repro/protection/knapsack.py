@@ -1,0 +1,84 @@
+"""0-1 knapsack selection of instructions to protect (Sec. VI).
+
+Objects are instructions; profits are their expected SDC contribution
+(predicted SDC probability × dynamic execution count), costs are the
+extra dynamic instructions duplication adds.  Solved with the classic
+dynamic program, with cost scaling so the table stays small for large
+dynamic counts — the same formulation as the paper (and Lu et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Capacity buckets for the DP table; costs are scaled down to this
+#: resolution when the raw capacity is larger.
+_MAX_BUCKETS = 4096
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate instruction."""
+
+    key: int      # instruction id
+    cost: int     # extra dynamic instructions if protected
+    profit: float  # expected SDC contribution removed by protecting it
+
+
+def knapsack_select(items: list[KnapsackItem], capacity: int) -> set[int]:
+    """Choose the subset maximizing profit within the cost capacity."""
+    if capacity <= 0 or not items:
+        return set()
+
+    # Zero-cost items (never-executed instructions) are free wins.
+    chosen = {item.key for item in items if item.cost == 0}
+    paying = [item for item in items if item.cost > 0]
+    if not paying:
+        return chosen
+
+    scale = max(1, capacity // _MAX_BUCKETS)
+    buckets = capacity // scale
+    if buckets == 0:
+        return chosen
+
+    # Scaled cost must round *up* so the capacity bound stays honest.
+    costs = [-(-item.cost // scale) for item in paying]
+    profits = [item.profit for item in paying]
+
+    n = len(paying)
+    value = [0.0] * (buckets + 1)
+    keep = [[False] * (buckets + 1) for _ in range(n)]
+    for i in range(n):
+        cost = costs[i]
+        profit = profits[i]
+        if cost > buckets:
+            continue
+        keep_row = keep[i]
+        # Iterate capacity downward: classic in-place 0-1 DP.
+        for cap in range(buckets, cost - 1, -1):
+            candidate = value[cap - cost] + profit
+            if candidate > value[cap]:
+                value[cap] = candidate
+                keep_row[cap] = True
+
+    # Reconstruct the chosen set.
+    cap = buckets
+    for i in range(n - 1, -1, -1):
+        if keep[i][cap]:
+            chosen.add(paying[i].key)
+            cap -= costs[i]
+    return chosen
+
+
+def greedy_select(items: list[KnapsackItem], capacity: int) -> set[int]:
+    """Profit-density greedy, used as a sanity baseline in tests."""
+    chosen: set[int] = set()
+    remaining = capacity
+    ranked = sorted(
+        items, key=lambda item: item.profit / max(1, item.cost), reverse=True
+    )
+    for item in ranked:
+        if item.cost <= remaining:
+            chosen.add(item.key)
+            remaining -= item.cost
+    return chosen

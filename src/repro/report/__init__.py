@@ -1,0 +1,5 @@
+"""Human-readable resilience reports (the Fig. 1a developer artifact)."""
+
+from .resilience import FunctionSummary, ResilienceReport, generate_report
+
+__all__ = ["FunctionSummary", "ResilienceReport", "generate_report"]

@@ -1,0 +1,22 @@
+"""Statistics used by the evaluation: paired t-tests, confidence
+intervals, and error summaries."""
+
+from .confidence import (
+    ConfidenceInterval,
+    Z_95,
+    binomial_confidence,
+    mean_absolute_error,
+    samples_for_margin,
+)
+from .ttest import (
+    TTestResult,
+    paired_t_test,
+    regularized_incomplete_beta,
+    student_t_two_sided_p,
+)
+
+__all__ = [
+    "ConfidenceInterval", "TTestResult", "Z_95", "binomial_confidence",
+    "mean_absolute_error", "paired_t_test", "regularized_incomplete_beta",
+    "samples_for_margin", "student_t_two_sided_p",
+]

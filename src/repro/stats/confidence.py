@@ -1,0 +1,62 @@
+"""Binomial confidence intervals and error summaries for FI campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: z for the 95% confidence level the paper reports error bars at.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A proportion with its symmetric (Wald) confidence interval."""
+
+    probability: float
+    margin: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.probability - self.margin)
+
+    @property
+    def high(self) -> float:
+        return min(1.0, self.probability + self.margin)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.probability * 100:.2f}% ± {self.margin * 100:.2f}% "
+            f"(n={self.samples})"
+        )
+
+
+def binomial_confidence(successes: int, samples: int,
+                        z: float = Z_95) -> ConfidenceInterval:
+    """Wald interval for a binomial proportion (the paper's error bars)."""
+    if samples <= 0:
+        return ConfidenceInterval(0.0, 0.0, 0)
+    p = successes / samples
+    margin = z * math.sqrt(p * (1.0 - p) / samples)
+    return ConfidenceInterval(p, margin, samples)
+
+
+def samples_for_margin(margin: float, p: float = 0.5,
+                       z: float = Z_95) -> int:
+    """How many FI runs to hit a target margin of error (planning aid)."""
+    if not 0.0 < margin < 1.0:
+        raise ValueError("margin must be in (0, 1)")
+    return math.ceil(z * z * p * (1.0 - p) / (margin * margin))
+
+
+def mean_absolute_error(predicted, measured) -> float:
+    """Mean |prediction - measurement| across benchmarks (Fig. 5/9)."""
+    pred = list(predicted)
+    meas = list(measured)
+    if len(pred) != len(meas) or not pred:
+        raise ValueError("need equal-length, nonempty series")
+    return sum(abs(p - m) for p, m in zip(pred, meas)) / len(pred)

@@ -1,0 +1,119 @@
+"""Paired t-test (Student 1908), as used throughout the evaluation.
+
+Self-contained implementation: the t statistic plus a two-sided p-value
+computed from the regularized incomplete beta function (continued
+fraction form, Numerical Recipes).  Unit tests validate it against
+scipy.stats.ttest_rel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a paired t-test."""
+
+    statistic: float
+    p_value: float
+    degrees_of_freedom: int
+    mean_difference: float
+
+    def rejects_null(self, alpha: float = 0.05) -> bool:
+        """True when the two samples are statistically distinguishable."""
+        return self.p_value <= alpha
+
+
+def paired_t_test(sample_a, sample_b) -> TTestResult:
+    """Two-sided paired t-test between equal-length samples.
+
+    The null hypothesis is that the mean difference is zero — i.e. the
+    model's predictions are statistically indistinguishable from the FI
+    measurements (Table II, and the overall p=0.764 experiment).
+    """
+    a = list(sample_a)
+    b = list(sample_b)
+    if len(a) != len(b):
+        raise ValueError("paired test needs equal-length samples")
+    n = len(a)
+    if n < 2:
+        raise ValueError("paired test needs at least two pairs")
+
+    differences = [x - y for x, y in zip(a, b)]
+    mean = sum(differences) / n
+    variance = sum((d - mean) ** 2 for d in differences) / (n - 1)
+    dof = n - 1
+    if variance == 0.0:
+        # All differences identical: either exactly zero (indistinguishable)
+        # or a constant shift (infinitely distinguishable).
+        p = 1.0 if mean == 0.0 else 0.0
+        stat = 0.0 if mean == 0.0 else math.copysign(math.inf, mean)
+        return TTestResult(stat, p, dof, mean)
+
+    statistic = mean / math.sqrt(variance / n)
+    p_value = student_t_two_sided_p(statistic, dof)
+    return TTestResult(statistic, p_value, dof, mean)
+
+
+def student_t_two_sided_p(t: float, dof: int) -> float:
+    """P(|T| >= |t|) for Student's t with ``dof`` degrees of freedom."""
+    if math.isinf(t):
+        return 0.0
+    x = dof / (dof + t * t)
+    return regularized_incomplete_beta(dof / 2.0, 0.5, x)
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b) via the continued fraction expansion."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_beta = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log(1.0 - x)
+    )
+    front = math.exp(log_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def _beta_continued_fraction(a: float, b: float, x: float,
+                             max_iterations: int = 300,
+                             eps: float = 3e-12) -> float:
+    """Lentz's algorithm for the incomplete beta continued fraction."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            return h
+    return h

@@ -1,0 +1,131 @@
+"""Dominators, post-dominators, and CFG utilities on hand-built CFGs."""
+
+import pytest
+
+from repro.analysis import (
+    VIRTUAL_EXIT,
+    compute_dominators,
+    compute_postdominators,
+    exit_blocks,
+    immediate_dominators,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import Function, IRBuilder, const_int
+
+
+def diamond() -> Function:
+    r"""entry -> {left, right} -> merge -> ret."""
+    fn = Function("diamond")
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b = IRBuilder(fn, entry)
+    cond = b.icmp("eq", const_int(1), const_int(1))
+    b.cond_br(cond, left, right)
+    IRBuilder(fn, left).br(merge)
+    IRBuilder(fn, right).br(merge)
+    IRBuilder(fn, merge).ret(None)
+    return fn
+
+
+def loop() -> Function:
+    """entry -> header <-> body; header -> exit."""
+    fn = Function("loop")
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    IRBuilder(fn, entry).br(header)
+    hb = IRBuilder(fn, header)
+    cond = hb.icmp("slt", const_int(0), const_int(10))
+    hb.cond_br(cond, body, exit_)
+    IRBuilder(fn, body).br(header)
+    IRBuilder(fn, exit_).ret(None)
+    return fn
+
+
+class TestDominators:
+    def test_diamond(self):
+        fn = diamond()
+        entry, left, right, merge = fn.blocks
+        dom = compute_dominators(fn)
+        assert dom[entry] == {entry}
+        assert dom[left] == {entry, left}
+        assert dom[right] == {entry, right}
+        assert dom[merge] == {entry, merge}  # neither arm dominates merge
+
+    def test_loop(self):
+        fn = loop()
+        entry, header, body, exit_ = fn.blocks
+        dom = compute_dominators(fn)
+        assert header in dom[body]
+        assert header in dom[exit_]
+        assert body not in dom[exit_]
+
+    def test_immediate_dominators(self):
+        fn = diamond()
+        entry, left, right, merge = fn.blocks
+        idom = immediate_dominators(fn)
+        assert idom[entry] is None
+        assert idom[left] is entry
+        assert idom[merge] is entry
+
+    def test_unreachable_block_empty(self):
+        fn = diamond()
+        island = fn.add_block("island")
+        IRBuilder(fn, island).ret(None)
+        dom = compute_dominators(fn)
+        assert dom[island] == set()
+
+
+class TestPostDominators:
+    def test_diamond(self):
+        fn = diamond()
+        entry, left, right, merge = fn.blocks
+        postdom = compute_postdominators(fn)
+        assert merge in postdom[entry]
+        assert merge in postdom[left]
+        assert left not in postdom[entry]
+        assert VIRTUAL_EXIT in postdom[entry]
+
+    def test_loop_exit_postdominates(self):
+        fn = loop()
+        entry, header, body, exit_ = fn.blocks
+        postdom = compute_postdominators(fn)
+        assert exit_ in postdom[header]
+        assert exit_ in postdom[body]
+        assert body not in postdom[header]
+
+
+class TestCfgUtils:
+    def test_reachable(self):
+        fn = diamond()
+        island = fn.add_block("island")
+        IRBuilder(fn, island).ret(None)
+        reachable = reachable_blocks(fn)
+        assert island not in reachable
+        assert len(reachable) == 4
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn = loop()
+        order = reverse_postorder(fn)
+        assert order[0] is fn.entry
+        # every edge u->v with v not a back-edge target appears in order
+        positions = {b: i for i, b in enumerate(order)}
+        entry, header, body, exit_ = fn.blocks
+        assert positions[entry] < positions[header]
+        assert positions[header] < positions[exit_]
+
+    def test_predecessor_map(self):
+        fn = diamond()
+        entry, left, right, merge = fn.blocks
+        preds = predecessor_map(fn)
+        assert set(preds[merge]) == {left, right}
+        assert preds[entry] == []
+
+    def test_exit_blocks(self):
+        fn = diamond()
+        assert exit_blocks(fn) == [fn.blocks[-1]]

@@ -1,0 +1,155 @@
+"""Natural loops, LT/NLT classification, and control dependence."""
+
+from repro.analysis import ControlDependence, LoopInfo, find_back_edges, find_natural_loops
+from repro.ir import Function, FunctionBuilder, I32, IRBuilder, Module, const_int
+from repro.ir.instructions import Branch, Store
+
+
+def build_loop_function() -> Function:
+    fn = Function("loop")
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    IRBuilder(fn, entry).br(header)
+    hb = IRBuilder(fn, header)
+    cond = hb.icmp("slt", const_int(0), const_int(10))
+    hb.cond_br(cond, body, exit_)
+    IRBuilder(fn, body).br(header)
+    IRBuilder(fn, exit_).ret(None)
+    return fn
+
+
+class TestLoops:
+    def test_back_edge_detected(self):
+        fn = build_loop_function()
+        entry, header, body, exit_ = fn.blocks
+        assert find_back_edges(fn) == [(body, header)]
+
+    def test_natural_loop_blocks(self):
+        fn = build_loop_function()
+        entry, header, body, exit_ = fn.blocks
+        loops = find_natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].header is header
+        assert loops[0].blocks == {header, body}
+        assert loops[0].exit_edges == [(header, exit_)]
+
+    def test_loop_terminating_branch(self):
+        fn = build_loop_function()
+        header = fn.blocks[1]
+        info = LoopInfo(fn)
+        branch = header.terminator
+        assert info.is_loop_terminating(branch)
+        assert info.continue_direction(branch) is True  # true arm = body
+
+    def test_non_loop_branch_is_nlt(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        f.if_(f.c(1) < 2, lambda: f.out(f.c(1)))
+        f.done()
+        module.finalize()
+        fn = module.main
+        info = LoopInfo(fn)
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, Branch) and term.is_conditional:
+                assert not info.is_loop_terminating(term)
+                assert info.continue_direction(term) is None
+
+    def test_dsl_loop_is_lt(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        f.for_range(0, 10, lambda i: f.out(i))
+        f.done()
+        module.finalize()
+        fn = module.main
+        info = LoopInfo(fn)
+        lt_branches = [
+            block.terminator for block in fn.blocks
+            if isinstance(block.terminator, Branch)
+            and block.terminator.is_conditional
+            and info.is_loop_terminating(block.terminator)
+        ]
+        assert len(lt_branches) == 1
+
+    def test_nested_loops_found(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+
+        def outer(i):
+            f.for_range(0, 3, lambda j: f.out(j), name="j")
+
+        f.for_range(0, 3, outer, name="i")
+        f.done()
+        module.finalize()
+        loops = find_natural_loops(module.main)
+        assert len(loops) == 2
+        sizes = sorted(len(l.blocks) for l in loops)
+        assert sizes[0] < sizes[1]  # inner loop nested in outer
+
+    def test_innermost_loop_of(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+
+        def outer(i):
+            f.for_range(0, 3, lambda j: f.out(j), name="j")
+
+        f.for_range(0, 3, outer, name="i")
+        f.done()
+        module.finalize()
+        info = LoopInfo(module.main)
+        inner = min(info.loops, key=lambda l: len(l.blocks))
+        for block in inner.blocks:
+            innermost = info.innermost_loop_of(block)
+            assert innermost.blocks <= max(
+                info.loops, key=lambda l: len(l.blocks)
+            ).blocks
+
+
+class TestControlDependence:
+    def build_if_module(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        arr = f.array("a", I32, 4)
+        f.if_(f.c(1) < 2, lambda: arr.__setitem__(f.c(0), 1))
+        f.out(arr[f.c(0)])
+        f.done()
+        return module.finalize()
+
+    def _conditional_branch(self, fn):
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, Branch) and term.is_conditional:
+                return term
+        raise AssertionError("no conditional branch")
+
+    def test_store_governed_by_branch(self):
+        module = self.build_if_module()
+        fn = module.main
+        branch = self._conditional_branch(fn)
+        cd = ControlDependence(fn)
+        governed = cd.blocks_governed_by(branch)
+        stores = [
+            inst for block in governed for inst in block.instructions
+            if isinstance(inst, Store)
+        ]
+        assert stores, "then-block store must be control dependent"
+
+    def test_direction(self):
+        module = self.build_if_module()
+        fn = module.main
+        branch = self._conditional_branch(fn)
+        cd = ControlDependence(fn)
+        then_block = branch.true_block
+        assert cd.governing_direction(branch, then_block) is True
+
+    def test_merge_block_not_governed(self):
+        module = self.build_if_module()
+        fn = module.main
+        branch = self._conditional_branch(fn)
+        cd = ControlDependence(fn)
+        governed = cd.blocks_governed_by(branch)
+        # The output block (post-dominates the branch) is not governed.
+        output_block = fn.blocks[-1]
+        assert output_block not in governed

@@ -1,0 +1,55 @@
+"""Golden-output regression pins for the benchmark suite.
+
+Benchmarks are deterministic: any change to IR semantics, the DSL
+lowering, data generation, or the interpreter that alters program
+behaviour shows up here immediately.  If a change is *intentional*,
+update the pins — and expect previously recorded FI/model numbers in
+EXPERIMENTS.md to shift too.
+"""
+
+import pytest
+
+from repro.bench import build_module
+from repro.interp import ExecutionEngine
+from tests.conftest import cached_module
+
+#: (benchmark, first output, dynamic instruction count) at test scale.
+GOLDEN = {
+    "libquantum": ("16", 1782),
+    "blackscholes": ("-3.326e-07", 414),
+    "sad": ("1551", 24598),
+    "bfs_parboil": ("46", 1426),
+    "hercules": ("-0.00636", 5069),
+    "lulesh": ("7.169", 3236),
+    "puremd": ("-5.451", 4085),
+    "nw": ("24", 3227),
+    "pathfinder": ("8", 2675),
+    "hotspot": ("77", 5500),
+    "bfs_rodinia": ("46", 3797),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_pin(name):
+    golden = ExecutionEngine(cached_module(name)).golden()
+    expected_first, expected_dynamic = GOLDEN[name]
+    assert golden.outputs[0] == expected_first
+    assert golden.dynamic_count == expected_dynamic
+
+
+@pytest.mark.parametrize("name", ["pathfinder", "hercules", "libquantum"])
+def test_input_seed_changes_output_not_structure(name):
+    base = build_module(name, "test", input_seed=0)
+    varied = build_module(name, "test", input_seed=5)
+    assert base.num_instructions == varied.num_instructions  # same code
+    base_out = ExecutionEngine(base).golden().outputs
+    varied_out = ExecutionEngine(varied).golden().outputs
+    assert base_out != varied_out  # different data
+
+
+def test_input_seed_deterministic():
+    from repro.ir import print_module
+
+    a = build_module("hotspot", "test", input_seed=3)
+    b = build_module("hotspot", "test", input_seed=3)
+    assert print_module(a) == print_module(b)

@@ -1,0 +1,101 @@
+"""Shared fixtures: hand-built modules and cached benchmark artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, build_module
+from repro.interp import ExecutionEngine
+from repro.ir import F64, FunctionBuilder, I32, Module
+from repro.profiling import ProfilingInterpreter
+
+
+def build_accumulator_module(n: int = 16) -> Module:
+    """init-loop writes an array; a second loop sums elements > 5.
+
+    The structure of the paper's running example (Fig. 2a): an init()
+    style loop, a run() style loop, a data-dependent branch, and both
+    integer and float output.
+    """
+    module = Module("accumulator")
+    f = FunctionBuilder(module, "main")
+    acc = f.local("acc", I32, init=0)
+    arr = f.array("arr", I32, n)
+    f.for_range(0, n, lambda i: arr.__setitem__(i, i * 2 + 1))
+
+    def body(i):
+        f.if_(arr[i] > 5, lambda: acc.set(acc.get() + arr[i]))
+
+    f.for_range(0, n, body)
+    x = f.local("x", F64, init=0.5)
+    x.set(x.get() * 3.0 + 1.0)
+    f.out(acc.get())
+    f.out(x.get(), precision=3)
+    f.done()
+    return module.finalize()
+
+
+def build_straightline_module() -> Module:
+    """A tiny straight-line program (no loops, one output)."""
+    module = Module("straightline")
+    f = FunctionBuilder(module, "main")
+    a = f.local("a", I32, init=7)
+    b = f.local("b", I32, init=9)
+    c = a.get() * b.get() + 1
+    f.out(c)
+    f.done()
+    return module.finalize()
+
+
+@pytest.fixture
+def accumulator_module() -> Module:
+    return build_accumulator_module()
+
+
+@pytest.fixture
+def straightline_module() -> Module:
+    return build_straightline_module()
+
+
+# -- cached benchmark artifacts (built once per test session) ---------------
+
+_module_cache: dict[str, Module] = {}
+_profile_cache: dict[str, tuple] = {}
+
+
+def cached_module(name: str) -> Module:
+    if name not in _module_cache:
+        _module_cache[name] = build_module(name, "test")
+    return _module_cache[name]
+
+
+def cached_profile(name: str):
+    if name not in _profile_cache:
+        module = cached_module(name)
+        _profile_cache[name] = ProfilingInterpreter(module).run()
+    return _profile_cache[name]
+
+
+@pytest.fixture(params=BENCHMARK_NAMES)
+def benchmark_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def benchmark_module(benchmark_name) -> Module:
+    return cached_module(benchmark_name)
+
+
+@pytest.fixture
+def pathfinder_module() -> Module:
+    return cached_module("pathfinder")
+
+
+@pytest.fixture
+def pathfinder_profile():
+    return cached_profile("pathfinder")[0]
+
+
+@pytest.fixture
+def accumulator_engine(accumulator_module) -> ExecutionEngine:
+    return ExecutionEngine(accumulator_module)

@@ -1,0 +1,209 @@
+"""fc — the paper's worked NLT (Fig. 3a, Pc=0.63) and LT (Fig. 3b,
+Pc=0.62) examples, reproduced on hand-built CFGs with fabricated
+branch profiles."""
+
+import pytest
+
+from repro.core import ControlFlowSubModel, trident_config
+from repro.ir import Function, I32, IRBuilder, Module, const_int
+from repro.ir.instructions import Branch, Store
+from repro.profiling import ProgramProfile
+
+
+def build_fig3a() -> tuple[Module, Branch, Store, ProgramProfile]:
+    """Fig. 3a: NLT branch; store on path bb0-bb1-bb3-bb4.
+
+    Branch probabilities: bb0 T=0.2/F=0.8; bb1 0.9 towards bb3;
+    bb3 0.7 towards bb4.  Expected Pc = Pe/Pd = (0.8*0.9*0.7)/0.8 = 0.63.
+    """
+    module = Module("fig3a")
+    fn = Function("main")
+    bb0 = fn.add_block("bb0")
+    bb1 = fn.add_block("bb1")
+    bb2 = fn.add_block("bb2")
+    bb3 = fn.add_block("bb3")
+    bb4 = fn.add_block("bb4")
+    bb5 = fn.add_block("bb5")
+    module.add_function(fn)
+
+    b0 = IRBuilder(fn, bb0)
+    slot = b0.alloca(I32, 1)
+    cmp0 = b0.icmp("sgt", const_int(1), const_int(0))
+    branch0 = b0.cond_br(cmp0, bb2, bb1)  # T -> bb2 (0.2), F -> bb1 (0.8)
+
+    b1 = IRBuilder(fn, bb1)
+    cmp1 = b1.icmp("sgt", const_int(1), const_int(0))
+    b1.cond_br(cmp1, bb3, bb5)  # 0.9 -> bb3
+
+    b2 = IRBuilder(fn, bb2)
+    b2.br(bb5)
+
+    b3 = IRBuilder(fn, bb3)
+    cmp3 = b3.icmp("sgt", const_int(1), const_int(0))
+    b3.cond_br(cmp3, bb4, bb5)  # 0.7 -> bb4
+
+    b4 = IRBuilder(fn, bb4)
+    store = b4.store(const_int(7), slot)
+    b4.br(bb5)
+
+    b5 = IRBuilder(fn, bb5)
+    b5.ret(None)
+    module.finalize()
+
+    profile = ProgramProfile()
+    base = 1000
+    profile.inst_counts = {
+        slot.iid: 1, cmp0.iid: base, branch0.iid: base,
+        cmp1.iid: 800, bb1.instructions[-1].iid: 800,
+        cmp3.iid: 720, bb3.instructions[-1].iid: 720,
+        store.iid: 504,
+    }
+    profile.branch_counts = {
+        branch0.iid: [800, 200],                  # [false, true]
+        bb1.instructions[-1].iid: [80, 720],
+        bb3.instructions[-1].iid: [216, 504],
+    }
+    return module, branch0, store, profile
+
+
+def build_fig3b() -> tuple[Module, Branch, Store, ProgramProfile]:
+    """Fig. 3b: LT branch at the loop header.
+
+    Back-edge probability 0.99; store path inside the loop 0.9 * 0.7.
+    Expected Pc = 0.99 * 0.9 * 0.7 = 0.6237.
+    """
+    module = Module("fig3b")
+    fn = Function("main")
+    bb0 = fn.add_block("bb0")
+    bb1 = fn.add_block("bb1")
+    bb2 = fn.add_block("bb2")
+    bb3 = fn.add_block("bb3")
+    bb4 = fn.add_block("bb4")
+    bb5 = fn.add_block("bb5")
+    module.add_function(fn)
+
+    b0 = IRBuilder(fn, bb0)
+    slot = b0.alloca(I32, 1)
+    cmp0 = b0.icmp("slt", const_int(0), const_int(1))
+    branch0 = b0.cond_br(cmp0, bb1, bb5)  # T (0.99) continues the loop
+
+    b1 = IRBuilder(fn, bb1)
+    cmp1 = b1.icmp("slt", const_int(0), const_int(1))
+    b1.cond_br(cmp1, bb2, bb0)  # 0.9 -> bb2, 0.1 back to header
+
+    b2 = IRBuilder(fn, bb2)
+    cmp2 = b2.icmp("slt", const_int(0), const_int(1))
+    b2.cond_br(cmp2, bb4, bb3)  # 0.7 -> bb4 (store)
+
+    b3 = IRBuilder(fn, bb3)
+    b3.br(bb0)
+
+    b4 = IRBuilder(fn, bb4)
+    store = b4.store(const_int(7), slot)
+    b4.br(bb0)
+
+    b5 = IRBuilder(fn, bb5)
+    b5.ret(None)
+    module.finalize()
+
+    profile = ProgramProfile()
+    base = 10000
+    in_loop = int(base * 0.99)
+    to_bb2 = int(in_loop * 0.9)
+    to_store = int(to_bb2 * 0.7)
+    profile.inst_counts = {
+        slot.iid: 1, cmp0.iid: base, branch0.iid: base,
+        cmp1.iid: in_loop, bb1.instructions[-1].iid: in_loop,
+        cmp2.iid: to_bb2, bb2.instructions[-1].iid: to_bb2,
+        store.iid: to_store,
+    }
+    profile.branch_counts = {
+        branch0.iid: [base - in_loop, in_loop],
+        bb1.instructions[-1].iid: [in_loop - to_bb2, to_bb2],
+        bb2.instructions[-1].iid: [to_bb2 - to_store, to_store],
+    }
+    return module, branch0, store, profile
+
+
+class TestNlt:
+    def test_classification(self):
+        module, branch, _store, profile = build_fig3a()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        assert fc.classify(branch) == "NLT"
+
+    def test_paper_value(self):
+        module, branch, store, profile = build_fig3a()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        corrupted = dict(
+            (s.iid, pc) for s, pc in fc.corrupted_stores(branch)
+        )
+        assert corrupted[store.iid] == pytest.approx(0.63, abs=0.005)
+
+    def test_immediately_dominated_store_pc_is_one(self):
+        # Fig. 2a shape: the branch directly guards the store block.
+        module = Module("direct")
+        fn = Function("main")
+        bb0 = fn.add_block("bb0")
+        then = fn.add_block("then")
+        done = fn.add_block("done")
+        module.add_function(fn)
+        b0 = IRBuilder(fn, bb0)
+        slot = b0.alloca(I32, 1)
+        cmp = b0.icmp("sgt", const_int(1), const_int(0))
+        branch = b0.cond_br(cmp, then, done)
+        bt = IRBuilder(fn, then)
+        store = bt.store(const_int(1), slot)
+        bt.br(done)
+        IRBuilder(fn, done).ret(None)
+        module.finalize()
+
+        profile = ProgramProfile()
+        profile.inst_counts = {
+            slot.iid: 1, cmp.iid: 100, branch.iid: 100, store.iid: 40,
+        }
+        profile.branch_counts = {branch.iid: [60, 40]}
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        corrupted = dict(
+            (s.iid, pc) for s, pc in fc.corrupted_stores(branch)
+        )
+        assert corrupted[store.iid] == pytest.approx(1.0)
+
+
+class TestLt:
+    def test_classification(self):
+        module, branch, _store, profile = build_fig3b()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        assert fc.classify(branch) == "LT"
+
+    def test_paper_value(self):
+        module, branch, store, profile = build_fig3b()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        corrupted = dict(
+            (s.iid, pc) for s, pc in fc.corrupted_stores(branch)
+        )
+        assert corrupted[store.iid] == pytest.approx(0.6237, abs=0.005)
+
+
+class TestEdgeCases:
+    def test_unconditional_branch_returns_nothing(self):
+        module, branch, _store, profile = build_fig3a()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        unconditional = next(
+            block.terminator
+            for block in module.main.blocks
+            if isinstance(block.terminator, Branch)
+            and not block.terminator.is_conditional
+        )
+        assert fc.corrupted_stores(unconditional) == []
+
+    def test_never_executed_branch_returns_nothing(self):
+        module, branch, _store, profile = build_fig3a()
+        profile.inst_counts[branch.iid] = 0
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        assert fc.corrupted_stores(branch) == []
+
+    def test_results_cached(self):
+        module, branch, _store, profile = build_fig3a()
+        fc = ControlFlowSubModel(module, profile, trident_config())
+        first = fc.corrupted_stores(branch)
+        assert fc.corrupted_stores(branch) is first

@@ -1,0 +1,139 @@
+"""fm (Fig. 4 worked example, cycles, memoization) and the floating
+point output masking rule (the 48.66% example)."""
+
+import pytest
+
+from repro.core import Trident, output_masking_factor, trident_config
+from repro.ir import F32, F64, FunctionBuilder, I32, Module
+from repro.ir.instructions import Output, Store
+from repro.profiling import ProfilingInterpreter
+
+
+def model_for(module: Module, **config_overrides) -> Trident:
+    profile, _ = ProfilingInterpreter(module).run()
+    return Trident(module, profile, trident_config(**config_overrides))
+
+
+class TestFig4:
+    def build_fig4(self, n=10, printed=6) -> Module:
+        """Store loop; load loop printing under an independent condition
+        true ``printed``/``n`` of the time (Fig. 4's 0.6)."""
+        module = Module("fig4")
+        f = FunctionBuilder(module, "main")
+        arr = f.array("a", I32, n)
+        f.for_range(0, n, lambda i: arr.__setitem__(i, i + 100))
+
+        def body(i):
+            f.if_(i < printed, lambda: f.out(arr[i]))
+
+        f.for_range(0, n, body, name="j")
+        f.done()
+        return module.finalize()
+
+    def test_store_propagates_at_print_probability(self):
+        module = self.build_fig4()
+        model = model_for(module)
+        store = next(
+            inst for inst in module.instructions()
+            if isinstance(inst, Store)
+            and model.profile.store_instances.get(inst.iid, 0) == 10
+        )
+        # Fig. 4: propagation = 1 * 0.6 + 0 * 0.4 = 0.6.  Our load
+        # executes only under the condition, so the edge weight itself
+        # carries the 0.6.
+        assert model.fm.propagate_store(store) == pytest.approx(0.6, abs=0.05)
+
+    def test_all_printed_gives_one(self):
+        module = self.build_fig4(n=10, printed=10)
+        model = model_for(module)
+        store = next(
+            inst for inst in module.instructions()
+            if isinstance(inst, Store)
+            and model.profile.store_instances.get(inst.iid, 0) == 10
+        )
+        assert model.fm.propagate_store(store) == pytest.approx(1.0, abs=0.01)
+
+    def test_never_printed_gives_zero(self):
+        module = self.build_fig4(n=10, printed=0)
+        model = model_for(module)
+        store = next(
+            inst for inst in module.instructions()
+            if isinstance(inst, Store)
+            and model.profile.store_instances.get(inst.iid, 0) == 10
+        )
+        assert model.fm.propagate_store(store) == pytest.approx(0.0, abs=1e-6)
+
+    def test_memoization(self):
+        module = self.build_fig4()
+        model = model_for(module)
+        store = next(
+            inst for inst in module.instructions() if isinstance(inst, Store)
+        )
+        model.fm.propagate_store(store)
+        assert model.fm.memoized_stores >= 1
+
+
+class TestAccumulatorCycle:
+    def test_corruption_persists_through_accumulator(self):
+        """A corrupted accumulator cell survives the store->load->store
+        cycle until the final output: fm must converge near 1, not cut
+        the cycle to 0."""
+        module = Module("acc")
+        f = FunctionBuilder(module, "main")
+        total = f.local("t", I32, init=0)
+        f.for_range(0, 20, lambda i: total.set(total.get() + i))
+        f.out(total.get())
+        f.done()
+        module.finalize()
+        model = model_for(module)
+        acc_store = max(
+            (i for i in module.instructions() if isinstance(i, Store)),
+            key=lambda s: model.profile.store_instances.get(s.iid, 0),
+        )
+        assert model.fm.propagate_store(acc_store) > 0.9
+
+    def test_fixed_point_is_bounded(self, pathfinder_module,
+                                    pathfinder_profile):
+        model = Trident(pathfinder_module, pathfinder_profile)
+        for inst in pathfinder_module.instructions():
+            if isinstance(inst, Store):
+                value = model.fm.propagate_store(inst)
+                assert 0.0 <= value <= 1.0
+
+
+class TestOutputMasking:
+    def test_paper_4866_percent(self):
+        """f32 printed at 2 significant digits:
+        ((32-23) + 23*(2/7)) / 32 = 48.66% (Sec. IV-E)."""
+        out = Output(_f32_value(), precision=2)
+        assert output_masking_factor(out) == pytest.approx(0.4866, abs=0.001)
+
+    def test_full_precision_no_masking(self):
+        out = Output(_f32_value(), precision=None)
+        assert output_masking_factor(out) == 1.0
+        out = Output(_f32_value(), precision=7)
+        assert output_masking_factor(out) == 1.0
+
+    def test_integer_no_masking(self):
+        from repro.ir import const_int
+
+        out = Output(const_int(5))
+        assert output_masking_factor(out) == 1.0
+
+    def test_f64_scaling(self):
+        from repro.ir import const_float
+
+        out = Output(const_float(1.0, F64), precision=3)
+        expected = ((64 - 52) + 52 * (3 / 15)) / 64
+        assert output_masking_factor(out) == pytest.approx(expected)
+
+    def test_lower_precision_masks_more(self):
+        coarse = output_masking_factor(Output(_f32_value(), precision=1))
+        fine = output_masking_factor(Output(_f32_value(), precision=5))
+        assert coarse < fine
+
+
+def _f32_value():
+    from repro.ir import const_float
+
+    return const_float(1.0, F32)

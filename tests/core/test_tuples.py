@@ -1,0 +1,170 @@
+"""Propagation tuples: the paper's masking rules, measured empirically."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import TridentConfig, TupleDeriver, trident_config
+from repro.ir import F64, I32, I64, const_float, const_int
+from repro.ir.instructions import BinOp, Cast, ICmp, Load, Select, Store
+from repro.ir.values import Constant
+from repro.profiling import ProgramProfile
+
+
+def deriver_with_samples(inst, samples) -> TupleDeriver:
+    profile = ProgramProfile()
+    inst.iid = 0
+    profile.operand_samples[0] = samples
+    return TupleDeriver(profile, trident_config())
+
+
+class TestComparisonMasking:
+    def test_fig2b_sign_bit_only(self):
+        """cmp sgt $1, 0 with a small positive operand: only the sign
+        bit flip changes the outcome — 1/32 (the paper's 0.03)."""
+        cmp = ICmp("sgt", const_int(5, I32), const_int(0, I32))
+        deriver = deriver_with_samples(cmp, [(5, 0)])
+        result = deriver.tuple_for(cmp, 0)
+        assert result.propagation == pytest.approx(1 / 32)
+        assert result.masking == pytest.approx(31 / 32)
+        assert result.crash == 0.0
+
+    def test_boundary_value_more_sensitive(self):
+        # Comparing 1 > 0: flipping bit 0 (1 -> 0) also changes the
+        # outcome, so two decisive bits.
+        cmp = ICmp("sgt", const_int(1, I32), const_int(0, I32))
+        deriver = deriver_with_samples(cmp, [(1, 0)])
+        assert deriver.tuple_for(cmp, 0).propagation == pytest.approx(2 / 32)
+
+    def test_equality_all_bits_decisive(self):
+        cmp = ICmp("eq", const_int(7, I32), const_int(7, I32))
+        deriver = deriver_with_samples(cmp, [(7, 7)])
+        # Any flip of an equal operand breaks equality.
+        assert deriver.tuple_for(cmp, 0).propagation == pytest.approx(1.0)
+
+
+class TestLogicMasking:
+    def test_and_masks_by_other_operand(self):
+        inst = BinOp("and", const_int(0, I32), const_int(0xF, I32))
+        deriver = deriver_with_samples(inst, [(0x0, 0xF)])
+        # Only flips in the low 4 bits pass through the 0xF mask.
+        assert deriver.tuple_for(inst, 0).propagation == pytest.approx(4 / 32)
+
+    def test_xor_transparent(self):
+        inst = BinOp("xor", const_int(0, I32), const_int(0xABC, I32))
+        deriver = deriver_with_samples(inst, [(0, 0xABC)])
+        assert deriver.tuple_for(inst, 0).propagation == pytest.approx(1.0)
+
+    def test_mul_by_zero_masks_everything(self):
+        inst = BinOp("mul", const_int(3, I32), const_int(0, I32))
+        deriver = deriver_with_samples(inst, [(3, 0)])
+        assert deriver.tuple_for(inst, 0).propagation == pytest.approx(0.0)
+
+    def test_add_transparent(self):
+        inst = BinOp("add", const_int(3, I32), const_int(9, I32))
+        deriver = deriver_with_samples(inst, [(3, 9)])
+        assert deriver.tuple_for(inst, 0).propagation == pytest.approx(1.0)
+
+
+class TestCrashTuples:
+    def test_divisor_flip_to_zero_crashes(self):
+        # Divisor 2 (one set bit): exactly one flip of 32 makes it zero.
+        inst = BinOp("sdiv", const_int(100, I32), const_int(2, I32))
+        deriver = deriver_with_samples(inst, [(100, 2)])
+        result = deriver.tuple_for(inst, 1)
+        assert result.crash == pytest.approx(1 / 32)
+
+    def test_load_address_tuple_uses_profiled_crash(self):
+        pointer = BinOp("add", const_int(0, I64), const_int(0, I64))
+        from repro.ir import pointer_to
+        from repro.ir.instructions import Alloca
+
+        slot = Alloca(I32, 1)
+        slot.iid = 1
+        load = Load(slot)
+        load.iid = 0
+        profile = ProgramProfile()
+        profile.crash_prob_samples[0] = [0.9, 0.95]
+        deriver = TupleDeriver(profile, trident_config())
+        result = deriver.tuple_for(load, 0)
+        assert result.crash == pytest.approx(0.925)
+        assert result.propagation == pytest.approx(0.075)
+
+
+class TestSelectTuples:
+    def _select(self):
+        cond = ICmp("slt", const_int(0, I32), const_int(1, I32))
+        return Select(cond, const_int(1, I32), const_int(2, I32))
+
+    def test_cond_flip_matters_when_arms_differ(self):
+        sel = self._select()
+        sel.iid = 0
+        profile = ProgramProfile()
+        profile.operand_samples[0] = [(1, 10, 20), (0, 5, 5)]
+        profile.select_counts[0] = [3, 7]
+        deriver = TupleDeriver(profile, trident_config())
+        # Arms differ in 1 of 2 samples.
+        assert deriver.tuple_for(sel, 0).propagation == pytest.approx(0.5)
+
+    def test_arm_weighted_by_selection(self):
+        sel = self._select()
+        sel.iid = 0
+        profile = ProgramProfile()
+        profile.select_counts[0] = [3, 7]
+        deriver = TupleDeriver(profile, trident_config())
+        assert deriver.tuple_for(sel, 1).propagation == pytest.approx(0.7)
+        assert deriver.tuple_for(sel, 2).propagation == pytest.approx(0.3)
+
+
+class TestFallbacks:
+    def test_unsampled_cmp_heuristic(self):
+        cmp = ICmp("sgt", const_int(5, I32), const_int(0, I32))
+        cmp.iid = 0
+        deriver = TupleDeriver(ProgramProfile(), trident_config())
+        assert deriver.tuple_for(cmp, 0).propagation == pytest.approx(2 / 32)
+
+    def test_unsampled_trunc_ratio(self):
+        cast = Cast("trunc", const_int(5, I64), I32)
+        cast.iid = 0
+        deriver = TupleDeriver(ProgramProfile(), trident_config())
+        assert deriver.tuple_for(cast, 0).propagation == pytest.approx(0.5)
+
+    def test_unsampled_arith_identity(self):
+        inst = BinOp("add", const_int(1, I32), const_int(2, I32))
+        inst.iid = 0
+        deriver = TupleDeriver(ProgramProfile(), trident_config())
+        assert deriver.tuple_for(inst, 0).propagation == 1.0
+
+    def test_cache_hit(self):
+        inst = BinOp("add", const_int(1, I32), const_int(2, I32))
+        deriver = deriver_with_samples(inst, [(1, 2)])
+        assert deriver.tuple_for(inst, 0) is deriver.tuple_for(inst, 0)
+
+
+class TestFdivExtension:
+    def test_disabled_by_default(self):
+        inst = BinOp("fdiv", const_float(1.0), const_float(3.0))
+        deriver = deriver_with_samples(inst, [(1.0, 3.0)])
+        baseline = deriver.tuple_for(inst, 0).propagation
+
+        profile = ProgramProfile()
+        profile.operand_samples[0] = [(1.0, 3.0)]
+        enabled = TupleDeriver(
+            profile, trident_config(model_fdiv_masking=True)
+        )
+        assert enabled.tuple_for(inst, 0).propagation < baseline
+
+
+# -- invariants ----------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+def test_tuple_always_sums_to_one(a, b, op):
+    inst = BinOp(op, const_int(a, I32), const_int(b, I32))
+    deriver = deriver_with_samples(inst, [(a, b)])
+    for operand_index in (0, 1):
+        result = deriver.tuple_for(inst, operand_index)
+        total = result.propagation + result.masking + result.crash
+        assert total == pytest.approx(1.0)
+        assert 0.0 <= result.propagation <= 1.0
+        assert 0.0 <= result.crash <= 1.0

@@ -1,0 +1,137 @@
+"""Fault injection campaigns: sampling, classification, statistics."""
+
+import random
+
+import pytest
+
+from repro.fi import (
+    BENIGN,
+    CRASHED,
+    CampaignResult,
+    FaultInjector,
+    OUTCOMES,
+    SDC,
+)
+from repro.ir import FunctionBuilder, I32, Module
+from tests.conftest import cached_module
+
+
+@pytest.fixture(scope="module")
+def injector():
+    return FaultInjector(cached_module("pathfinder"))
+
+
+class TestSampling:
+    def test_samples_weighted_by_execution(self, injector):
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(2000):
+            injection = injector.sample_injection(rng)
+            counts[injection.iid] = counts.get(injection.iid, 0) + 1
+        # The hottest instruction should be sampled far more often than
+        # a coldest one, roughly proportional to dynamic counts.
+        by_count = sorted(
+            zip(injector.target_iids, injector.target_counts),
+            key=lambda pair: pair[1],
+        )
+        cold_iid, cold_n = by_count[0]
+        hot_iid, hot_n = by_count[-1]
+        assert hot_n > 2 * cold_n  # precondition for the check below
+        assert counts.get(hot_iid, 0) > counts.get(cold_iid, 0)
+
+    def test_occurrence_in_range(self, injector):
+        rng = random.Random(1)
+        for _ in range(200):
+            injection = injector.sample_injection(rng)
+            index = injector.target_iids.index(injection.iid)
+            assert 1 <= injection.occurrence <= injector.target_counts[index]
+
+    def test_bit_in_register_width(self, injector):
+        rng = random.Random(2)
+        for _ in range(200):
+            injection = injector.sample_injection(rng)
+            bits = injector.module.instruction(injection.iid).type.bits
+            assert 0 <= injection.bit < bits
+
+    def test_targets_all_have_users_and_counts(self, injector):
+        for iid in injector.target_iids:
+            inst = injector.module.instruction(iid)
+            assert inst.has_result
+            assert inst.users
+
+    def test_targeted_injection_rejects_bad_iid(self, injector):
+        rng = random.Random(3)
+        store_iid = next(
+            inst.iid for inst in injector.module.instructions()
+            if inst.opcode == "store"
+        )
+        with pytest.raises(ValueError):
+            injector.injection_for(store_iid, rng)
+
+
+class TestCampaigns:
+    def test_counts_sum_to_n(self, injector):
+        result = injector.campaign(100, seed=11)
+        assert result.total == 100
+        assert set(result.counts) == set(OUTCOMES)
+
+    def test_campaign_deterministic_per_seed(self, injector):
+        a = injector.campaign(100, seed=5)
+        b = injector.campaign(100, seed=5)
+        assert a.counts == b.counts
+
+    def test_different_seeds_differ(self, injector):
+        a = injector.campaign(150, seed=5)
+        b = injector.campaign(150, seed=6)
+        assert a.counts != b.counts  # overwhelmingly likely
+
+    def test_all_outcome_classes_occur(self, injector):
+        result = injector.campaign(400, seed=7)
+        assert result.counts[SDC] > 0
+        assert result.counts[CRASHED] > 0
+        assert result.counts[BENIGN] > 0
+
+    def test_per_instruction_campaign(self, injector):
+        iids = injector.eligible_iids()[:5]
+        results = injector.per_instruction_campaign(iids, 30, seed=1)
+        assert set(results) == set(iids)
+        for result in results.values():
+            assert result.total == 30
+
+    def test_straightline_fault_free_benign_rate(self, straightline_module):
+        injector = FaultInjector(straightline_module)
+        result = injector.campaign(200, seed=1)
+        # A multiply feeding the output: most bit flips must be SDCs.
+        assert result.sdc_probability > 0.5
+
+
+class TestCampaignResult:
+    def test_probabilities(self):
+        result = CampaignResult()
+        result.counts[SDC] = 25
+        result.counts[BENIGN] = 75
+        assert result.sdc_probability == 0.25
+        assert result.benign_probability == 0.75
+        assert result.probability(CRASHED) == 0.0
+
+    def test_margin_of_error(self):
+        result = CampaignResult()
+        result.counts[SDC] = 50
+        result.counts[BENIGN] = 50
+        margin = result.margin_of_error(SDC)
+        assert margin == pytest.approx(1.96 * (0.25 / 100) ** 0.5, rel=1e-3)
+
+    def test_empty_result(self):
+        result = CampaignResult()
+        assert result.sdc_probability == 0.0
+        assert result.margin_of_error() == 0.0
+
+    def test_merge(self):
+        a = CampaignResult()
+        a.counts[SDC] = 10
+        b = CampaignResult()
+        b.counts[SDC] = 5
+        b.counts[BENIGN] = 5
+        merged = a.merge(b)
+        assert merged.counts[SDC] == 15
+        assert merged.total == 20

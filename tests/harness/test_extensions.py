@@ -1,0 +1,66 @@
+"""Harness extension studies: ablations, input sensitivity, opt levels.
+
+Scaled to two benchmarks and small sample counts so the unit suite
+stays fast; the full-size versions run under ``pytest benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness import ExperimentConfig, Workspace
+from repro.harness.ablations import ABLATIONS, run_ablations
+from repro.harness.inputs import run_input_sensitivity
+from repro.harness.optlevels import run_optlevels
+
+TINY = ExperimentConfig(
+    scale="test", fi_samples=120, model_samples=120,
+    benchmarks=("pathfinder", "hotspot"),
+)
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    return Workspace(TINY)
+
+
+class TestAblations:
+    def test_all_variants_evaluated(self, workspace):
+        result = run_ablations(workspace)
+        assert set(result.predictions) == set(ABLATIONS)
+        for variant in ABLATIONS:
+            assert set(result.predictions[variant]) == set(
+                TINY.benchmarks
+            )
+            assert 0.0 <= result.mean_absolute_errors[variant] <= 1.0
+        assert 0.0 <= result.crash_mae <= 1.0
+        assert "Ablations" in result.render()
+
+    def test_store_addr_extension_raises_predictions(self, workspace):
+        result = run_ablations(workspace)
+        for bench in TINY.benchmarks:
+            assert (result.predictions["store-addr-sdc"][bench]
+                    >= result.predictions["full"][bench] - 1e-9)
+
+
+class TestInputSensitivity:
+    def test_structure(self, workspace):
+        result = run_input_sensitivity(workspace, inputs=2)
+        assert result.inputs == 2
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert len(row.fi_by_input) == 2
+            assert len(row.model_by_input) == 2
+            assert 0.0 <= row.fi_spread <= 1.0
+            assert 0.0 <= row.per_input_mae <= 1.0
+        assert "Input sensitivity" in result.render()
+
+
+class TestOptLevels:
+    def test_structure(self, workspace):
+        result = run_optlevels(workspace)
+        for row in result.rows:
+            assert row.dynamic_counts[2] < row.dynamic_counts[0]
+            assert row.promoted > 0
+            for level in (0, 2):
+                assert 0.0 <= row.fi_sdc[level] <= 1.0
+                assert 0.0 <= row.model_sdc[level] <= 1.0
+        assert "Optimization levels" in result.render()

@@ -1,0 +1,217 @@
+"""The execution engine: golden runs, fault injection, outcome taxonomy."""
+
+import pytest
+
+from repro.interp import (
+    CRASH,
+    DETECTED,
+    ExecutionEngine,
+    HANG,
+    Injection,
+    OK,
+)
+from repro.ir import (
+    F64,
+    FunctionBuilder,
+    I32,
+    IRBuilder,
+    Module,
+)
+from repro.ir.instructions import BinOp, GetElementPtr, Load
+from tests.conftest import cached_module
+
+
+class TestGoldenRun:
+    def test_accumulator_output(self, accumulator_engine):
+        golden = accumulator_engine.golden()
+        assert golden.outcome == OK
+        # odd numbers 1..31 greater than 5: 7+9+...+31
+        assert golden.outputs[0] == str(sum(range(7, 32, 2)))
+        assert golden.outputs[1] == "2.5"
+
+    def test_instruction_counts_match_dynamic_total(self, accumulator_engine):
+        golden = accumulator_engine.golden()
+        counts = golden.instruction_counts()
+        assert sum(counts.values()) == golden.dynamic_count
+
+    def test_runs_are_deterministic(self, accumulator_engine):
+        a = accumulator_engine.run()
+        b = accumulator_engine.run()
+        assert a.outputs == b.outputs
+        assert a.dynamic_count == b.dynamic_count
+
+    def test_engine_requires_main(self):
+        module = Module("nomain")
+        f = FunctionBuilder(module, "helper")
+        f.done()
+        module.finalize()
+        with pytest.raises(ValueError, match="main"):
+            ExecutionEngine(module)
+
+    def test_engine_requires_finalized(self):
+        module = Module("raw")
+        with pytest.raises(ValueError, match="finalize"):
+            ExecutionEngine(module)
+
+    def test_benchmark_golden_matches_profiler(self, benchmark_name):
+        from tests.conftest import cached_profile
+
+        module = cached_module(benchmark_name)
+        _profile, outputs = cached_profile(benchmark_name)
+        golden = ExecutionEngine(module).golden()
+        assert golden.outputs == outputs
+
+
+class TestInjection:
+    def test_injection_flips_exactly_once(self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        golden = engine.golden()
+        counts = golden.instruction_counts()
+        target = next(
+            inst for inst in accumulator_module.instructions()
+            if isinstance(inst, BinOp) and counts.get(inst.iid, 0) > 0
+        )
+        result = engine.run(Injection(target.iid, 1, 0))
+        assert result.activated
+
+    def test_unexecuted_occurrence_never_activates(self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        golden = engine.golden()
+        counts = golden.instruction_counts()
+        target = next(
+            inst for inst in accumulator_module.instructions()
+            if inst.has_result and counts.get(inst.iid, 0) > 0
+        )
+        result = engine.run(
+            Injection(target.iid, counts[target.iid] + 100, 0)
+        )
+        assert not result.activated
+        assert result.outputs == golden.outputs
+
+    def test_injection_reproducible(self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        counts = engine.golden().instruction_counts()
+        target = next(
+            inst for inst in accumulator_module.instructions()
+            if isinstance(inst, BinOp) and counts.get(inst.iid, 0) > 0
+        )
+        injection = Injection(target.iid, 1, 7)
+        a = engine.run(injection)
+        b = engine.run(injection)
+        assert a.outcome == b.outcome
+        assert a.outputs == b.outputs
+
+    def test_injection_into_resultless_instruction_rejected(
+            self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        store = next(
+            inst for inst in accumulator_module.instructions()
+            if inst.opcode == "store"
+        )
+        with pytest.raises(ValueError):
+            engine.run(Injection(store.iid, 1, 0))
+
+    def test_bit_out_of_range_rejected(self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        target = next(
+            inst for inst in accumulator_module.instructions()
+            if inst.has_result and inst.type == I32
+        )
+        with pytest.raises(ValueError):
+            engine.run(Injection(target.iid, 1, 32))
+
+    def test_pointer_high_bit_flip_crashes(self, accumulator_module):
+        engine = ExecutionEngine(accumulator_module)
+        counts = engine.golden().instruction_counts()
+        gep = next(
+            inst for inst in accumulator_module.instructions()
+            if isinstance(inst, GetElementPtr) and counts.get(inst.iid, 0) > 0
+        )
+        result = engine.run(Injection(gep.iid, 1, 60))
+        assert result.outcome == CRASH
+
+
+class TestOutcomes:
+    def test_hang_detected(self):
+        module = Module("hang")
+        f = FunctionBuilder(module, "main")
+        n = f.local("n", I32, init=0)
+        # Loop bound loaded from memory: a fault can make it huge, but
+        # here we force the hang via a tiny engine budget instead.
+        f.for_range(0, 1000, lambda i: n.set(n.get() + 1))
+        f.out(n.get())
+        f.done()
+        module.finalize()
+        engine = ExecutionEngine(module)
+        result = engine.run(budget=100)
+        assert result.outcome == HANG
+
+    def test_detect_fires_on_mismatch(self):
+        module = Module("detect")
+        fn_builder = FunctionBuilder(module, "main")
+        builder = fn_builder.b
+        a = builder.add(builder.const(1, I32), builder.const(2, I32))
+        b = builder.add(builder.const(1, I32), builder.const(3, I32))
+        builder.detect(a, b)
+        builder.ret(None)
+        module.finalize()
+        result = ExecutionEngine(module).run()
+        assert result.outcome == DETECTED
+
+    def test_detect_passes_on_match(self):
+        module = Module("detect_ok")
+        fn_builder = FunctionBuilder(module, "main")
+        builder = fn_builder.b
+        a = builder.add(builder.const(1, I32), builder.const(2, I32))
+        b = builder.add(builder.const(1, I32), builder.const(2, I32))
+        builder.detect(a, b)
+        builder.output(builder.const(1, I32))
+        builder.ret(None)
+        module.finalize()
+        result = ExecutionEngine(module).run()
+        assert result.outcome == OK
+        assert result.outputs == ["1"]
+
+    def test_division_by_corrupted_zero_crashes(self):
+        module = Module("div")
+        f = FunctionBuilder(module, "main")
+        d = f.local("d", I32, init=1)
+        f.out(f.c(100) / d.get())
+        f.done()
+        module.finalize()
+        engine = ExecutionEngine(module)
+        load = next(
+            inst for inst in module.instructions()
+            if isinstance(inst, Load)
+        )
+        # Flip bit 0 of the loaded divisor 1 -> 0: division trap.
+        result = engine.run(Injection(load.iid, 1, 0))
+        assert result.outcome == CRASH
+
+    def test_stack_overflow_is_crash(self):
+        module = Module("recurse")
+        f = FunctionBuilder(module, "rec", [I32], ["n"], I32)
+        f.ret(f.call("rec", [f.arg(0) + 1], I32))
+        f.done()
+        main = FunctionBuilder(module, "main")
+        main.out(main.call("rec", [main.c(0)], I32))
+        main.done()
+        module.finalize()
+        result = ExecutionEngine(module, stack_limit=20).run()
+        assert result.outcome == CRASH
+
+
+class TestPerformance:
+    def test_throughput_floor(self, benchmark_name):
+        """The compiled engine must stay fast enough for FI campaigns."""
+        import time
+
+        module = cached_module(benchmark_name)
+        engine = ExecutionEngine(module)
+        golden = engine.golden()
+        started = time.perf_counter()
+        for _ in range(3):
+            engine.run()
+        elapsed = (time.perf_counter() - started) / 3
+        rate = golden.dynamic_count / max(elapsed, 1e-9)
+        assert rate > 100_000, f"engine too slow: {rate:.0f} inst/s"

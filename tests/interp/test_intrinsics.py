@@ -1,0 +1,48 @@
+"""Math intrinsics: C-style domain-error semantics."""
+
+import math
+
+import pytest
+
+from repro.interp.intrinsics import INTRINSICS, call_intrinsic, is_intrinsic
+from repro.ir.types import F32, F64
+
+
+class TestDomainBehaviour:
+    def test_sqrt(self):
+        assert call_intrinsic("sqrt", [9.0], F64) == 3.0
+        assert math.isnan(call_intrinsic("sqrt", [-1.0], F64))
+
+    def test_log(self):
+        assert call_intrinsic("log", [1.0], F64) == 0.0
+        assert call_intrinsic("log", [0.0], F64) == -math.inf
+        assert math.isnan(call_intrinsic("log", [-1.0], F64))
+
+    def test_exp_overflow_to_inf(self):
+        assert call_intrinsic("exp", [1e6], F64) == math.inf
+
+    def test_pow(self):
+        assert call_intrinsic("pow", [2.0, 10.0], F64) == 1024.0
+
+    def test_trig(self):
+        assert call_intrinsic("cos", [0.0], F64) == 1.0
+        assert call_intrinsic("sin", [0.0], F64) == 0.0
+
+    def test_fabs(self):
+        assert call_intrinsic("fabs", [-2.5], F64) == 2.5
+
+    def test_floor_ceil(self):
+        assert call_intrinsic("floor", [2.7], F64) == 2.0
+        assert call_intrinsic("ceil", [2.1], F64) == 3.0
+        assert call_intrinsic("floor", [math.inf], F64) == math.inf
+
+    def test_f32_result_rounding(self):
+        result = call_intrinsic("sqrt", [2.0], F32)
+        assert result == pytest.approx(math.sqrt(2.0), rel=1e-6)
+        assert result != math.sqrt(2.0)  # rounded to single precision
+
+    def test_is_intrinsic(self):
+        assert is_intrinsic("sqrt")
+        assert not is_intrinsic("malloc")
+        for name in INTRINSICS:
+            assert is_intrinsic(name)

@@ -1,0 +1,195 @@
+"""Value semantics: integer/float ops, comparisons, casts, formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interp.errors import ArithmeticTrap
+from repro.interp.ops import (
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+    format_output,
+    reinterpret_loaded,
+)
+from repro.ir.bitutils import from_signed, to_signed
+from repro.ir.types import F32, F64, I8, I16, I32, I64
+
+
+class TestIntBinop:
+    def test_add_wraps(self):
+        assert eval_int_binop("add", 0xFFFFFFFF, 1, 32) == 0
+
+    def test_sub_wraps(self):
+        assert eval_int_binop("sub", 0, 1, 32) == 0xFFFFFFFF
+
+    def test_mul(self):
+        assert eval_int_binop("mul", 7, 6, 32) == 42
+
+    def test_sdiv_truncates_toward_zero(self):
+        # C semantics: -7 / 2 == -3 (Python's // would give -4).
+        assert to_signed(eval_int_binop(
+            "sdiv", from_signed(-7, 32), 2, 32), 32) == -3
+
+    def test_sdiv_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_int_binop("sdiv", 1, 0, 32)
+
+    def test_sdiv_overflow_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_int_binop("sdiv", from_signed(-(2**31), 32),
+                           from_signed(-1, 32), 32)
+
+    def test_srem_sign_follows_dividend(self):
+        assert to_signed(eval_int_binop(
+            "srem", from_signed(-7, 32), 2, 32), 32) == -1
+
+    def test_udiv_urem(self):
+        assert eval_int_binop("udiv", 0xFFFFFFFF, 2, 32) == 0x7FFFFFFF
+        assert eval_int_binop("urem", 10, 3, 32) == 1
+        with pytest.raises(ArithmeticTrap):
+            eval_int_binop("urem", 10, 0, 32)
+
+    def test_logic(self):
+        assert eval_int_binop("and", 0b1100, 0b1010, 8) == 0b1000
+        assert eval_int_binop("or", 0b1100, 0b1010, 8) == 0b1110
+        assert eval_int_binop("xor", 0b1100, 0b1010, 8) == 0b0110
+
+    def test_shifts(self):
+        assert eval_int_binop("shl", 1, 4, 32) == 16
+        assert eval_int_binop("shl", 0x80000000, 1, 32) == 0
+        assert eval_int_binop("lshr", 0x80000000, 31, 32) == 1
+        # ashr replicates the sign bit.
+        assert eval_int_binop("ashr", 0x80000000, 31, 32) == 0xFFFFFFFF
+
+    def test_shift_amount_modulo_width(self):
+        assert eval_int_binop("shl", 1, 33, 32) == 2
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            eval_int_binop("nope", 1, 2, 32)
+
+
+class TestFloatBinop:
+    def test_basic(self):
+        assert eval_float_binop("fadd", 1.5, 2.5, 64) == 4.0
+        assert eval_float_binop("fmul", 3.0, 0.5, 64) == 1.5
+
+    def test_fdiv_by_zero_gives_inf(self):
+        assert math.isinf(eval_float_binop("fdiv", 1.0, 0.0, 64))
+        assert math.isnan(eval_float_binop("fdiv", 0.0, 0.0, 64))
+
+    def test_f32_rounds(self):
+        result = eval_float_binop("fadd", 0.1, 0.2, 32)
+        assert result == pytest.approx(0.3, abs=1e-6)
+        assert result != 0.1 + 0.2  # f64 sum differs from f32 sum
+
+    def test_frem(self):
+        assert eval_float_binop("frem", 7.5, 2.0, 64) == 1.5
+        assert math.isnan(eval_float_binop("frem", 1.0, 0.0, 64))
+
+
+class TestComparisons:
+    def test_signed_vs_unsigned(self):
+        minus_one = from_signed(-1, 32)
+        assert eval_icmp("slt", minus_one, 1, 32) == 1
+        assert eval_icmp("ult", minus_one, 1, 32) == 0  # 0xFFFFFFFF > 1
+
+    @pytest.mark.parametrize("pred,expected", [
+        ("eq", 0), ("ne", 1), ("slt", 1), ("sle", 1), ("sgt", 0), ("sge", 0),
+    ])
+    def test_predicates(self, pred, expected):
+        assert eval_icmp(pred, 3, 5, 32) == expected
+
+    def test_fcmp_nan_is_unordered(self):
+        assert eval_fcmp("oeq", math.nan, math.nan) == 0
+        assert eval_fcmp("olt", math.nan, 1.0) == 0
+        assert eval_fcmp("one", math.nan, 1.0) == 0
+
+    def test_fcmp_basic(self):
+        assert eval_fcmp("olt", 1.0, 2.0) == 1
+        assert eval_fcmp("oge", 2.0, 2.0) == 1
+
+
+class TestCasts:
+    def test_trunc(self):
+        assert eval_cast("trunc", 0x1FF, I32, I8) == 0xFF
+
+    def test_zext_sext(self):
+        assert eval_cast("zext", 0xFF, I8, I32) == 0xFF
+        assert eval_cast("sext", 0xFF, I8, I32) == 0xFFFFFFFF
+
+    def test_sitofp(self):
+        assert eval_cast("sitofp", from_signed(-3, 32), I32, F64) == -3.0
+
+    def test_fptosi_truncates(self):
+        assert to_signed(eval_cast("fptosi", 3.9, F64, I32), 32) == 3
+        assert to_signed(eval_cast("fptosi", -3.9, F64, I32), 32) == -3
+
+    def test_fptosi_saturates(self):
+        assert to_signed(eval_cast("fptosi", 1e30, F64, I32), 32) == 2**31 - 1
+        assert to_signed(eval_cast("fptosi", -1e30, F64, I32), 32) == -(2**31)
+        assert eval_cast("fptosi", math.nan, F64, I32) == 0
+
+    def test_fptrunc(self):
+        assert eval_cast("fptrunc", 1e300, F64, F32) == math.inf
+
+
+class TestFormatting:
+    def test_int_signed(self):
+        assert format_output(from_signed(-5, 32), I32, None) == "-5"
+
+    def test_float_precision(self):
+        assert format_output(123.456, F64, 2) == "1.2e+02"
+        assert format_output(1.5, F64, 6) == "1.5"
+
+
+class TestReinterpret:
+    def test_float_cell_as_int(self):
+        value = reinterpret_loaded(1.0, I32)
+        assert isinstance(value, int)
+        assert 0 <= value <= 0xFFFFFFFF
+
+    def test_int_cell_as_float(self):
+        value = reinterpret_loaded(0x3FF0000000000000, F64)
+        assert value == 1.0
+
+    def test_wide_int_as_narrow(self):
+        assert reinterpret_loaded(0x1FF, I8) == 0xFF
+
+
+# -- property tests against Python's own big-int arithmetic ------------------
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(u32, u32)
+def test_add_matches_python_mod(a, b):
+    assert eval_int_binop("add", a, b, 32) == (a + b) % 2**32
+
+
+@given(u32, u32)
+def test_mul_matches_python_mod(a, b):
+    assert eval_int_binop("mul", a, b, 32) == (a * b) % 2**32
+
+
+@given(u32, st.integers(min_value=1, max_value=2**32 - 1))
+def test_udiv_matches_python(a, b):
+    assert eval_int_binop("udiv", a, b, 32) == a // b
+
+
+@given(u32, u32)
+def test_icmp_eq_consistent(a, b):
+    assert eval_icmp("eq", a, b, 32) == int(a == b)
+    assert eval_icmp("ne", a, b, 32) == int(a != b)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_slt_matches_signed_compare(a, b):
+    assert eval_icmp(
+        "slt", from_signed(a, 32), from_signed(b, 32), 32
+    ) == int(a < b)

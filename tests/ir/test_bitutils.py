@@ -1,0 +1,132 @@
+"""Unit and property tests for bit-level helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.bitutils import (
+    bits_to_float,
+    flip_bit_float,
+    flip_bit_int,
+    flip_bit_typed,
+    float_to_bits,
+    format_with_precision,
+    from_signed,
+    mask,
+    popcount,
+    to_signed,
+    truncate_float,
+    wrap_unsigned,
+)
+from repro.ir.types import F32, F64, I8, I32
+
+
+class TestMaskAndWrap:
+    def test_mask(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_wrap_unsigned(self):
+        assert wrap_unsigned(-1, 8) == 0xFF
+        assert wrap_unsigned(256, 8) == 0
+        assert wrap_unsigned(257, 8) == 1
+
+    def test_signed_round_trip(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+        assert from_signed(-128, 8) == 0x80
+        assert to_signed(from_signed(-5, 32), 32) == -5
+
+
+class TestFloatBits:
+    def test_known_encoding(self):
+        assert float_to_bits(1.0, 32) == 0x3F800000
+        assert float_to_bits(1.0, 64) == 0x3FF0000000000000
+
+    def test_round_trip_f64(self):
+        for value in (0.0, 1.5, -2.25, 1e300, -1e-300):
+            assert bits_to_float(float_to_bits(value, 64), 64) == value
+
+    def test_sign_flip(self):
+        assert flip_bit_float(1.0, 63, 64) == -1.0
+        assert flip_bit_float(2.5, 31, 32) == -2.5
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            float_to_bits(1.0, 16)
+
+
+class TestFlip:
+    def test_flip_int(self):
+        assert flip_bit_int(0, 0, 32) == 1
+        assert flip_bit_int(1, 0, 32) == 0
+        assert flip_bit_int(0, 31, 32) == 0x80000000
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit_int(0, 32, 32)
+
+    def test_flip_typed_dispatch(self):
+        assert flip_bit_typed(5, 1, I32) == 7
+        assert flip_bit_typed(1.0, 63, F64) == -1.0
+
+    def test_flip_is_involution(self):
+        value = 0xDEADBEEF
+        for bit in range(32):
+            assert flip_bit_int(flip_bit_int(value, bit, 32), bit, 32) == value
+
+
+class TestTruncateFloat:
+    def test_f64_identity(self):
+        assert truncate_float(1.1, F64) == 1.1
+
+    def test_f32_loses_precision(self):
+        truncated = truncate_float(1.1, F32)
+        assert truncated != 1.1
+        assert abs(truncated - 1.1) < 1e-6
+
+    def test_f32_overflow_to_inf(self):
+        assert truncate_float(1e300, F32) == math.inf
+        assert truncate_float(-1e300, F32) == -math.inf
+
+    def test_nan_preserved(self):
+        assert math.isnan(truncate_float(math.nan, F32))
+
+
+class TestFormatting:
+    def test_precision_g(self):
+        assert format_with_precision(123.456, 2) == "1.2e+02"
+        assert format_with_precision(0.0001234, 2) == "0.00012"
+        assert format_with_precision(1.0, 3) == "1"
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(1 << 40) == 1
+
+
+# -- property-based -----------------------------------------------------------
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_signed_unsigned_round_trip(value):
+    assert to_signed(from_signed(value, 32), 32) == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=31))
+def test_flip_changes_exactly_one_bit(value, bit):
+    flipped = flip_bit_int(value, bit, 32)
+    assert popcount(value ^ flipped) == 1
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_float_bits_round_trip(value):
+    assert bits_to_float(float_to_bits(value, 64), 64) == value
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers())
+def test_wrap_bounds(bits, value):
+    wrapped = wrap_unsigned(value, bits)
+    assert 0 <= wrapped <= mask(bits)

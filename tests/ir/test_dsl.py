@@ -1,0 +1,213 @@
+"""The eDSL: expressions, locals, arrays, and structured control flow.
+
+Each test lowers a snippet and executes it, asserting on program output
+— the DSL's contract is the behaviour of the generated IR.
+"""
+
+import pytest
+
+from repro.interp import ExecutionEngine
+from repro.ir import F32, F64, FunctionBuilder, I32, I64, Module
+
+
+def run_main(build):
+    """Build main with the given body function, execute, return outputs."""
+    module = Module("t")
+    f = FunctionBuilder(module, "main")
+    build(f)
+    f.done()
+    module.finalize()
+    return ExecutionEngine(module).golden().outputs
+
+
+class TestExpressions:
+    def test_integer_arithmetic(self):
+        def body(f):
+            a = f.c(10)
+            f.out(a * 3 - 5)
+            f.out(a / 3)
+            f.out(a % 3)
+        assert run_main(body) == ["25", "3", "1"]
+
+    def test_float_arithmetic(self):
+        def body(f):
+            x = f.c(1.5)
+            f.out(x * 2.0 + 0.25, precision=6)
+        assert run_main(body) == ["3.25"]
+
+    def test_reverse_operators(self):
+        def body(f):
+            a = f.c(10)
+            f.out(100 - a)
+            f.out(3 * a)
+        assert run_main(body) == ["90", "30"]
+
+    def test_bitwise(self):
+        def body(f):
+            a = f.c(0b1100)
+            f.out(a & 0b1010)
+            f.out(a | 0b0001)
+            f.out(a ^ 0b1111)
+            f.out(a << 2)
+            f.out(a >> 1)
+        assert run_main(body) == ["8", "13", "3", "48", "6"]
+
+    def test_negation(self):
+        def body(f):
+            f.out(-f.c(5))
+            f.out(-f.c(2.5), precision=6)
+        assert run_main(body) == ["-5", "-2.5"]
+
+    def test_comparisons_produce_i1(self):
+        def body(f):
+            a = f.c(3)
+            f.out(f.select(a < 5, f.c(1), f.c(0)))
+            f.out(f.select(a == 3, f.c(1), f.c(0)))
+            f.out(f.select(a >= 4, f.c(1), f.c(0)))
+        assert run_main(body) == ["1", "1", "0"]
+
+    def test_conversions(self):
+        def body(f):
+            f.out(f.c(3).to_float(F64) * 0.5, precision=6)
+            f.out(f.c(3.9).to_int(I32))
+            f.out(f.c(3).to_int(I64).to_int(I32))
+        assert run_main(body) == ["1.5", "3", "3"]
+
+    def test_mixed_int_float_rejected(self):
+        def body(f):
+            _ = f.c(1) + 2.5
+        with pytest.raises(TypeError):
+            run_main(body)
+
+
+class TestStorage:
+    def test_local_get_set(self):
+        def body(f):
+            v = f.local("v", I32, init=1)
+            v.set(v.get() + 41)
+            f.out(v.get())
+        assert run_main(body) == ["42"]
+
+    def test_array_read_write(self):
+        def body(f):
+            arr = f.array("a", I32, 4)
+            f.for_range(0, 4, lambda i: arr.__setitem__(i, i * i))
+            f.out(arr[f.c(3)])
+        assert run_main(body) == ["9"]
+
+    def test_global_array(self):
+        def body(f):
+            g = f.global_array("data", I32, 3, [10, 20, 30])
+            f.out(g[f.c(1)])
+        assert run_main(body) == ["20"]
+
+    def test_float_array(self):
+        def body(f):
+            arr = f.array("a", F32, 2)
+            arr[f.c(0)] = f.c(1.25, F32)
+            arr[f.c(1)] = arr[f.c(0)] * 2.0
+            f.out(arr[f.c(1)], precision=6)
+        assert run_main(body) == ["2.5"]
+
+
+class TestControlFlow:
+    def test_for_range_ascending(self):
+        def body(f):
+            total = f.local("t", I32, init=0)
+            f.for_range(0, 5, lambda i: total.set(total.get() + i))
+            f.out(total.get())
+        assert run_main(body) == ["10"]
+
+    def test_for_range_step(self):
+        def body(f):
+            total = f.local("t", I32, init=0)
+            f.for_range(0, 10, lambda i: total.set(total.get() + i), step=3)
+            f.out(total.get())
+        assert run_main(body) == ["18"]  # 0+3+6+9
+
+    def test_for_range_descending(self):
+        def body(f):
+            total = f.local("t", I32, init=0)
+            f.for_range(5, 0, lambda i: total.set(total.get() + i), step=-1)
+            f.out(total.get())
+        assert run_main(body) == ["15"]  # 5+4+3+2+1
+
+    def test_for_range_zero_step_rejected(self):
+        def body(f):
+            f.for_range(0, 5, lambda i: None, step=0)
+        with pytest.raises(ValueError):
+            run_main(body)
+
+    def test_while(self):
+        def body(f):
+            n = f.local("n", I32, init=100)
+            steps = f.local("s", I32, init=0)
+
+            def step():
+                n.set(n.get() / 2)
+                steps.set(steps.get() + 1)
+
+            f.while_(lambda: n.get() > 1, step)
+            f.out(steps.get())
+        assert run_main(body) == ["6"]  # 100->50->25->12->6->3->1
+
+    def test_if_then(self):
+        def body(f):
+            v = f.local("v", I32, init=0)
+            f.if_(f.c(1) < 2, lambda: v.set(7))
+            f.out(v.get())
+        assert run_main(body) == ["7"]
+
+    def test_if_else(self):
+        def body(f):
+            v = f.local("v", I32, init=0)
+            f.if_(f.c(5) < 2, lambda: v.set(7), lambda: v.set(9))
+            f.out(v.get())
+        assert run_main(body) == ["9"]
+
+    def test_nested_loops(self):
+        def body(f):
+            total = f.local("t", I32, init=0)
+
+            def outer(i):
+                f.for_range(0, 3, lambda j: total.set(total.get() + i * j),
+                            name="j")
+
+            f.for_range(0, 3, outer, name="i")
+            f.out(total.get())
+        assert run_main(body) == ["9"]  # sum i*j, i,j in 0..2
+
+
+class TestHelpers:
+    def test_min_max_abs(self):
+        def body(f):
+            f.out(f.min(f.c(3), 5))
+            f.out(f.max(f.c(3), 5))
+            f.out(f.abs(f.c(-7)))
+            f.out(f.abs(f.c(-2.5)), precision=6)
+        assert run_main(body) == ["3", "5", "7", "2.5"]
+
+    def test_intrinsics(self):
+        def body(f):
+            f.out(f.sqrt(f.c(16.0)), precision=6)
+            f.out(f.exp(f.c(0.0)), precision=6)
+            f.out(f.log(f.c(1.0)), precision=6)
+        assert run_main(body) == ["4", "1", "0"]
+
+    def test_user_function_call(self):
+        module = Module("t")
+        helper = FunctionBuilder(module, "square", [I32], ["x"], I32)
+        helper.ret(helper.arg(0) * helper.arg(0))
+        helper.done()
+        f = FunctionBuilder(module, "main")
+        f.out(f.call("square", [f.c(6)], I32))
+        f.done()
+        module.finalize()
+        assert ExecutionEngine(module).golden().outputs == ["36"]
+
+    def test_done_adds_implicit_ret(self):
+        module = Module("t")
+        f = FunctionBuilder(module, "main")
+        f.out(f.c(1))
+        fn = f.done()
+        assert fn.blocks[-1].is_terminated

@@ -1,0 +1,202 @@
+"""Unit tests for instruction construction, typing rules and def-use."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    F64,
+    FCmp,
+    GetElementPtr,
+    I1,
+    I32,
+    I64,
+    ICmp,
+    Load,
+    Output,
+    Ret,
+    Select,
+    Store,
+    VOID,
+    const_float,
+    const_int,
+    pointer_to,
+)
+from repro.ir.basicblock import BasicBlock
+
+
+def i32(v):
+    return const_int(v, I32)
+
+
+class TestBinOp:
+    def test_result_type(self):
+        add = BinOp("add", i32(1), i32(2))
+        assert add.type == I32
+        assert add.has_result
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp("add", i32(1), const_int(2, I64))
+
+    def test_float_op_on_ints_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp("fadd", i32(1), i32(2))
+
+    def test_int_op_on_floats_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp("xor", const_float(1.0), const_float(2.0))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("bogus", i32(1), i32(2))
+
+    def test_classification(self):
+        assert BinOp("and", i32(1), i32(2)).is_logic
+        assert BinOp("shl", i32(1), i32(2)).is_shift
+        assert not BinOp("add", i32(1), i32(2)).is_logic
+
+
+class TestDefUse:
+    def test_users_tracked(self):
+        a = BinOp("add", i32(1), i32(2))
+        b = BinOp("mul", a, i32(3))
+        assert b in a.users
+
+    def test_replace_operand(self):
+        a = BinOp("add", i32(1), i32(2))
+        b = BinOp("add", i32(5), i32(6))
+        c = BinOp("mul", a, i32(3))
+        c.replace_operand(0, b)
+        assert c not in a.users
+        assert c in b.users
+        assert c.operands[0] is b
+
+    def test_drop_uses(self):
+        a = BinOp("add", i32(1), i32(2))
+        c = BinOp("mul", a, a)
+        c.drop_uses()
+        assert c not in a.users
+
+
+class TestComparisons:
+    def test_icmp_type(self):
+        cmp = ICmp("slt", i32(1), i32(2))
+        assert cmp.type == I1
+        assert cmp.is_comparison
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", i32(1), i32(2))
+
+    def test_fcmp_requires_floats(self):
+        with pytest.raises(TypeError):
+            FCmp("olt", i32(1), i32(2))
+
+    def test_fcmp(self):
+        cmp = FCmp("ogt", const_float(1.0), const_float(2.0))
+        assert cmp.type == I1
+
+
+class TestMemory:
+    def test_alloca(self):
+        a = Alloca(I32, 10)
+        assert a.type == pointer_to(I32)
+        assert a.size_bytes == 40
+
+    def test_alloca_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            Alloca(I32, 0)
+
+    def test_load_store_typing(self):
+        p = Alloca(I32)
+        load = Load(p)
+        assert load.type == I32
+        Store(i32(1), p)  # ok
+        with pytest.raises(TypeError):
+            Store(const_int(1, I64), p)
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(i32(1))
+
+    def test_gep(self):
+        p = Alloca(F64, 4)
+        gep = GetElementPtr(p, i32(2))
+        assert gep.type == pointer_to(F64)
+        assert gep.elem_size == 8
+
+    def test_gep_index_must_be_int(self):
+        p = Alloca(F64, 4)
+        with pytest.raises(TypeError):
+            GetElementPtr(p, const_float(1.0))
+
+
+class TestControlFlow:
+    def test_unconditional(self):
+        bb = BasicBlock("x")
+        br = Branch(None, bb)
+        assert not br.is_conditional
+        assert br.targets == [bb]
+        assert br.is_terminator
+
+    def test_conditional(self):
+        bb1, bb2 = BasicBlock("t"), BasicBlock("f")
+        cond = ICmp("eq", i32(1), i32(1))
+        br = Branch(cond, bb1, bb2)
+        assert br.is_conditional
+        assert br.targets == [bb1, bb2]
+
+    def test_conditional_needs_two_targets(self):
+        cond = ICmp("eq", i32(1), i32(1))
+        with pytest.raises(ValueError):
+            Branch(cond, BasicBlock("t"))
+
+    def test_condition_must_be_i1(self):
+        with pytest.raises(TypeError):
+            Branch(i32(1), BasicBlock("t"), BasicBlock("f"))
+
+    def test_ret(self):
+        assert Ret(None).value is None
+        assert Ret(i32(3)).value == i32(3)
+        assert Ret(None).is_terminator
+
+
+class TestMisc:
+    def test_select_typing(self):
+        cond = ICmp("eq", i32(1), i32(1))
+        sel = Select(cond, i32(1), i32(2))
+        assert sel.type == I32
+        with pytest.raises(TypeError):
+            Select(cond, i32(1), const_float(1.0))
+        with pytest.raises(TypeError):
+            Select(i32(1), i32(1), i32(2))
+
+    def test_call(self):
+        call = Call("sqrt", [const_float(4.0)], F64)
+        assert call.callee == "sqrt"
+        assert call.has_result
+
+    def test_void_call(self):
+        call = Call("helper", [], VOID)
+        assert not call.has_result
+
+    def test_output_precision_validation(self):
+        Output(const_float(1.0), precision=2)  # ok
+        with pytest.raises(ValueError):
+            Output(const_float(1.0), precision=0)
+
+    def test_detect_type_agreement(self):
+        with pytest.raises(TypeError):
+            Detect(i32(1), const_float(1.0))
+
+    def test_cast(self):
+        cast = Cast("sext", i32(1), I64)
+        assert cast.type == I64
+        assert cast.is_cast
+        with pytest.raises(ValueError):
+            Cast("resize", i32(1), I64)

@@ -1,0 +1,157 @@
+"""Textual round-trip: printer output parses back to an identical module."""
+
+import pytest
+
+from repro.ir import (
+    IRParseError,
+    Module,
+    parse_module,
+    print_module,
+)
+from tests.conftest import build_accumulator_module, cached_module
+
+
+class TestRoundTrip:
+    def test_accumulator_round_trip(self, accumulator_module):
+        text = print_module(accumulator_module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    @pytest.mark.parametrize("name", [
+        "pathfinder", "hotspot", "blackscholes", "libquantum", "hercules",
+    ])
+    def test_benchmark_round_trip(self, name):
+        module = cached_module(name)
+        text = print_module(module)
+        assert print_module(parse_module(text)) == text
+
+    def test_round_trip_preserves_iids(self, accumulator_module):
+        reparsed = parse_module(print_module(accumulator_module))
+        original = accumulator_module.instructions()
+        clones = reparsed.instructions()
+        assert len(original) == len(clones)
+        for a, b in zip(original, clones):
+            assert a.iid == b.iid
+            assert a.opcode == b.opcode
+
+    def test_round_trip_preserves_behavior(self, accumulator_module):
+        from repro.interp import ExecutionEngine
+
+        reparsed = parse_module(print_module(accumulator_module))
+        assert (
+            ExecutionEngine(reparsed).golden().outputs
+            == ExecutionEngine(accumulator_module).golden().outputs
+        )
+
+    def test_print_requires_finalized(self):
+        with pytest.raises(RuntimeError):
+            print_module(Module("empty"))
+
+
+SIMPLE = """
+module tiny
+
+global @data : i32 x 3 = [5, 6, 7]
+
+func @main() : void {
+entry:
+  %0 = gep i32* @data, i32 1
+  %1 = load i32* %0
+  %2 = add i32 %1, i32 10
+  output i32 %2
+  ret
+}
+"""
+
+
+class TestParser:
+    def test_parse_simple(self):
+        module = parse_module(SIMPLE)
+        assert module.name == "tiny"
+        assert module.globals["data"].initializer == [5, 6, 7]
+        assert module.num_instructions == 5
+
+    def test_parse_executes(self):
+        from repro.interp import ExecutionEngine
+
+        module = parse_module(SIMPLE)
+        assert ExecutionEngine(module).golden().outputs == ["16"]
+
+    def test_float_constants(self):
+        text = SIMPLE.replace(
+            "%2 = add i32 %1, i32 10", "%2 = add i32 %1, i32 10"
+        )
+        module = parse_module(text)
+        assert module is not None
+
+    def test_comments_ignored(self):
+        module = parse_module(SIMPLE.replace(
+            "ret", "ret ; this is the end"
+        ))
+        assert module.num_instructions == 5
+
+    def test_undefined_value_rejected(self):
+        bad = SIMPLE.replace("%2 = add i32 %1, i32 10",
+                             "%2 = add i32 %99, i32 10")
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+    def test_unknown_label_rejected(self):
+        bad = SIMPLE.replace("ret", "br label %nowhere")
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+    def test_unknown_opcode_rejected(self):
+        bad = SIMPLE.replace("%2 = add i32 %1, i32 10",
+                             "%2 = frobnicate i32 %1, i32 10")
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+    def test_type_mismatch_rejected(self):
+        bad = SIMPLE.replace("output i32 %2", "output i64 %2")
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+    def test_missing_brace_rejected(self):
+        bad = SIMPLE.rstrip().rstrip("}")
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_module("   \n  \n")
+
+    def test_conditional_branch_and_blocks(self):
+        text = """
+module branches
+
+func @main() : void {
+entry:
+  %0 = icmp slt i32 3, i32 5
+  br i1 %0, label %yes, label %no
+yes:
+  output i32 1
+  ret
+no:
+  output i32 0
+  ret
+}
+"""
+        from repro.interp import ExecutionEngine
+
+        module = parse_module(text)
+        assert ExecutionEngine(module).golden().outputs == ["1"]
+
+    def test_output_precision_round_trip(self):
+        text = """
+module prec
+
+func @main() : void {
+entry:
+  output f64 1.5 prec 3
+  ret
+}
+"""
+        module = parse_module(text)
+        printed = print_module(module)
+        assert "prec 3" in printed

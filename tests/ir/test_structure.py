@@ -1,0 +1,126 @@
+"""Basic blocks, functions, and modules: structural behaviour."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    const_int,
+)
+from repro.ir.instructions import Ret
+
+
+class TestBasicBlock:
+    def test_append_and_terminate(self):
+        fn = Function("f")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn, block)
+        builder.add(const_int(1), const_int(2))
+        assert not block.is_terminated
+        builder.ret(None)
+        assert block.is_terminated
+        assert isinstance(block.terminator, Ret)
+
+    def test_append_after_terminator_rejected(self):
+        fn = Function("f")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn, block)
+        builder.ret(None)
+        with pytest.raises(ValueError):
+            builder.add(const_int(1), const_int(2))
+
+    def test_successors_and_predecessors(self):
+        fn = Function("f")
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        builder = IRBuilder(fn, entry)
+        cond = builder.icmp("eq", const_int(1), const_int(1))
+        builder.cond_br(cond, left, right)
+        IRBuilder(fn, left).ret(None)
+        IRBuilder(fn, right).ret(None)
+        assert set(entry.successors) == {left, right}
+        assert left.predecessors == [entry]
+
+    def test_duplicate_conditional_target_deduped(self):
+        fn = Function("f")
+        entry = fn.add_block("entry")
+        only = fn.add_block("only")
+        builder = IRBuilder(fn, entry)
+        cond = builder.icmp("eq", const_int(1), const_int(1))
+        builder.cond_br(cond, only, only)
+        assert entry.successors == [only]
+
+
+class TestFunction:
+    def test_unique_block_names(self):
+        fn = Function("f")
+        a = fn.add_block("loop")
+        b = fn.add_block("loop")
+        assert a.name != b.name
+
+    def test_entry_requires_block(self):
+        fn = Function("f")
+        with pytest.raises(ValueError):
+            _ = fn.entry
+
+    def test_args(self):
+        fn = Function("f", [I32, I32], ["x", "y"], I32)
+        assert [a.name for a in fn.args] == ["x", "y"]
+        assert fn.args[1].index == 1
+
+    def test_block_by_name(self):
+        fn = Function("f")
+        block = fn.add_block("entry")
+        assert fn.block_by_name("entry") is block
+        with pytest.raises(KeyError):
+            fn.block_by_name("nope")
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+
+    def test_duplicate_global_rejected(self):
+        module = Module("m")
+        module.new_global("g", I32, 4)
+        with pytest.raises(ValueError):
+            module.new_global("g", I32, 4)
+
+    def test_global_initializer_length_check(self):
+        module = Module("m")
+        with pytest.raises(ValueError):
+            module.new_global("g", I32, 4, [1, 2])
+
+    def test_finalize_assigns_contiguous_iids(self, straightline_module):
+        iids = [inst.iid for inst in straightline_module.instructions()]
+        assert iids == list(range(len(iids)))
+
+    def test_instruction_lookup(self, straightline_module):
+        for inst in straightline_module.instructions():
+            assert straightline_module.instruction(inst.iid) is inst
+
+    def test_lookup_requires_finalize(self):
+        module = Module("m")
+        fn = Function("main")
+        block = fn.add_block("entry")
+        IRBuilder(fn, block).ret(None)
+        module.add_function(fn)
+        with pytest.raises(RuntimeError):
+            module.instruction(0)
+
+    def test_missing_function_lookup(self):
+        module = Module("m")
+        with pytest.raises(KeyError):
+            module.function("ghost")
+
+    def test_num_instructions(self, accumulator_module):
+        assert accumulator_module.num_instructions == sum(
+            1 for _ in accumulator_module.instructions()
+        )

@@ -1,0 +1,130 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    F32,
+    F64,
+    FloatType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    VOID,
+    VoidType,
+    parse_type,
+    pointer_to,
+)
+
+
+class TestIntType:
+    def test_interning(self):
+        assert IntType(32) is I32
+        assert IntType(64) is I64
+
+    def test_equality_and_hash(self):
+        assert IntType(32) == I32
+        assert hash(IntType(8)) == hash(IntType(8))
+        assert IntType(8) != IntType(16)
+
+    def test_bounds(self):
+        assert I32.max_unsigned == 2**32 - 1
+        assert I32.max_signed == 2**31 - 1
+        assert I32.min_signed == -(2**31)
+        assert I1.max_unsigned == 1
+
+    def test_size_bytes(self):
+        assert I32.size_bytes == 4
+        assert I64.size_bytes == 8
+        assert I1.size_bytes == 1  # sub-byte types round up
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(128)
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(I1) == "i1"
+
+    def test_predicates(self):
+        assert I32.is_integer
+        assert not I32.is_float
+        assert not I32.is_pointer
+
+
+class TestFloatType:
+    def test_interning(self):
+        assert FloatType(32) is F32
+        assert FloatType(64) is F64
+
+    def test_mantissa_bits(self):
+        assert F32.mantissa_bits == 23
+        assert F64.mantissa_bits == 52
+
+    def test_decimal_digits(self):
+        assert F32.decimal_digits == 7
+        assert F64.decimal_digits == 15
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_str(self):
+        assert str(F32) == "f32"
+        assert str(F64) == "f64"
+
+
+class TestPointerType:
+    def test_width_is_64(self):
+        assert PointerType(I32).bits == 64
+        assert PointerType(I32).size_bytes == 8
+
+    def test_equality(self):
+        assert pointer_to(I32) == pointer_to(I32)
+        assert pointer_to(I32) != pointer_to(I64)
+
+    def test_str(self):
+        assert str(pointer_to(F64)) == "f64*"
+
+    def test_no_void_pointee(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_nested(self):
+        pp = pointer_to(pointer_to(I32))
+        assert str(pp) == "i32**"
+        assert pp.pointee == pointer_to(I32)
+
+
+class TestVoidType:
+    def test_singleton(self):
+        assert VoidType() is VOID
+
+    def test_predicates(self):
+        assert VOID.is_void
+        assert not VOID.is_integer
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i32", I32),
+        ("i1", I1),
+        ("f32", F32),
+        ("f64", F64),
+        ("double", F64),
+        ("float", F32),
+        ("void", VOID),
+        ("i32*", pointer_to(I32)),
+        ("f64**", pointer_to(pointer_to(F64))),
+    ])
+    def test_round_trip(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_type("int")
+        with pytest.raises(ValueError):
+            parse_type("ixyz")

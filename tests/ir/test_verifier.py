@@ -1,0 +1,145 @@
+"""The verifier: structural well-formedness rules."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    Function,
+    I32,
+    IRBuilder,
+    Module,
+    VerificationError,
+    const_int,
+    verify_function,
+)
+from repro.ir.instructions import BinOp, Branch, Ret
+
+
+def make_module_with(fn: Function) -> Module:
+    module = Module("t")
+    module.add_function(fn)
+    return module
+
+
+class TestTermination:
+    def test_unterminated_block_rejected(self):
+        fn = Function("main")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn, block)
+        builder.add(const_int(1), const_int(2))
+        module = make_module_with(fn)
+        with pytest.raises(VerificationError, match="not terminated"):
+            module.finalize()
+
+    def test_empty_function_rejected(self):
+        fn = Function("main")
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(fn)
+
+    def test_ret_type_checked(self):
+        fn = Function("main", return_type=I32)
+        block = fn.add_block("entry")
+        block.append(Ret(None))
+        with pytest.raises(VerificationError, match="ret"):
+            verify_function(fn)
+
+    def test_void_ret_with_value_rejected(self):
+        fn = Function("main")
+        block = fn.add_block("entry")
+        block.append(Ret(const_int(1)))
+        with pytest.raises(VerificationError, match="ret"):
+            verify_function(fn)
+
+
+class TestBranchTargets:
+    def test_cross_function_branch_rejected(self):
+        fn_a = Function("a")
+        fn_b = Function("b")
+        foreign = fn_b.add_block("foreign")
+        foreign.append(Ret(None))
+        entry = fn_a.add_block("entry")
+        entry.append(Branch(None, foreign))
+        with pytest.raises(VerificationError, match="another function"):
+            verify_function(fn_a)
+
+
+class TestDominance:
+    def test_use_before_def_in_block_rejected(self):
+        fn = Function("main")
+        block = fn.add_block("entry")
+        a = BinOp("add", const_int(1), const_int(2))
+        b = BinOp("mul", a, const_int(3))
+        # Insert b before a: use-before-def.
+        block.append(b)
+        block.append(a)
+        block.append(Ret(None))
+        with pytest.raises(VerificationError, match="before its definition"):
+            verify_function(fn)
+
+    def test_non_dominating_def_rejected(self):
+        fn = Function("main")
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        builder = IRBuilder(fn, entry)
+        cond = builder.icmp("eq", const_int(1), const_int(1))
+        builder.cond_br(cond, left, right)
+        lb = IRBuilder(fn, left)
+        defined_in_left = lb.add(const_int(1), const_int(2))
+        lb.br(merge)
+        IRBuilder(fn, right).br(merge)
+        mb = IRBuilder(fn, merge)
+        mb.add(defined_in_left, const_int(1))  # not dominated
+        mb.ret(None)
+        with pytest.raises(VerificationError, match="does not dominate"):
+            verify_function(fn)
+
+    def test_dominating_use_accepted(self, accumulator_module):
+        # The whole benchmark suite should verify; spot-check one module.
+        for fn in accumulator_module.functions.values():
+            verify_function(fn, accumulator_module)
+
+
+class TestCalls:
+    def test_unknown_callee_rejected(self):
+        module = Module("t")
+        fn = Function("main")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn, block)
+        builder.call("does_not_exist", [], I32)
+        builder.ret(None)
+        module.add_function(fn)
+        with pytest.raises(VerificationError, match="unknown function"):
+            module.finalize()
+
+    def test_intrinsic_arity_checked(self):
+        module = Module("t")
+        fn = Function("main")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn, block)
+        builder.call("sqrt", [], F64)  # sqrt takes 1 arg
+        builder.ret(None)
+        module.add_function(fn)
+        with pytest.raises(VerificationError, match="takes"):
+            module.finalize()
+
+    def test_call_arg_count_checked(self):
+        module = Module("t")
+        callee = Function("helper", [I32], ["x"])
+        cb = IRBuilder(callee, callee.add_block("entry"))
+        cb.ret(None)
+        module.add_function(callee)
+        fn = Function("main")
+        builder = IRBuilder(fn, fn.add_block("entry"))
+        builder.call("helper", [], callee.return_type)
+        builder.ret(None)
+        module.add_function(fn)
+        with pytest.raises(VerificationError, match="args"):
+            module.finalize()
+
+    def test_benchmarks_verify(self, benchmark_module):
+        # finalize() already verified at build; re-verify explicitly.
+        from repro.ir import verify_module
+
+        verify_module(benchmark_module)

@@ -1,0 +1,204 @@
+"""Optimizer passes: behavior preservation and transformation effects."""
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES
+from repro.interp import ExecutionEngine
+from repro.ir import FunctionBuilder, I32, Module, parse_module, print_module
+from repro.ir.instructions import Alloca, Phi
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    promotable_allocas,
+    promote_to_registers,
+    simplify_cfg,
+)
+from tests.conftest import cached_module
+
+
+def outputs_of(module: Module) -> list[str]:
+    return ExecutionEngine(module).golden().outputs
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        f.out((f.c(6) * 7) + 0)
+        f.done()
+        module.finalize()
+        folded = fold_constants(module.main)
+        module.finalize()
+        assert folded == 2
+        assert outputs_of(module) == ["42"]
+
+    def test_preserves_division_trap(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        f.out(f.c(1) / 0)
+        f.done()
+        module.finalize()
+        assert fold_constants(module.main) == 0  # trap kept for runtime
+
+    def test_folds_chains(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        value = f.c(1)
+        for _ in range(6):
+            value = value + 1
+        f.out(value)
+        f.done()
+        module.finalize()
+        assert fold_constants(module.main) == 6
+        module.finalize()
+        assert outputs_of(module) == ["7"]
+
+
+class TestDce:
+    def test_removes_unused(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        _dead = f.c(1) + 2
+        _dead2 = _dead * 3
+        f.out(f.c(9))
+        f.done()
+        module.finalize()
+        removed = eliminate_dead_code(module.main)
+        module.finalize()
+        assert removed == 2
+        assert outputs_of(module) == ["9"]
+
+    def test_keeps_stores_and_outputs(self, accumulator_module):
+        from repro.protection import clone_module
+
+        clone = clone_module(accumulator_module)
+        before = outputs_of(clone)
+        for function in clone.functions.values():
+            eliminate_dead_code(function)
+        clone.finalize()
+        assert outputs_of(clone) == before
+
+
+class TestSimplifyCfg:
+    def test_folds_constant_branch(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        f.if_(f.c(1) == 1, lambda: f.out(f.c(10)), lambda: f.out(f.c(20)))
+        f.done()
+        module.finalize()
+        fold_constants(module.main)
+        rewrites = simplify_cfg(module.main)
+        module.finalize()
+        assert rewrites > 0
+        assert outputs_of(module) == ["10"]
+        # The dead arm is gone entirely.
+        assert module.num_instructions < 8
+
+
+class TestMem2Reg:
+    def test_promotes_scalars_not_arrays(self, accumulator_module):
+        from repro.protection import clone_module
+
+        clone = clone_module(accumulator_module)
+        candidates = promotable_allocas(clone.main)
+        kinds = {c.count for c in candidates}
+        assert kinds == {1}  # arrays are never promotable
+
+    def test_inserts_loop_phis(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        total = f.local("t", I32, init=0)
+        f.for_range(0, 5, lambda i: total.set(total.get() + i))
+        f.out(total.get())
+        f.done()
+        module.finalize()
+        promoted = promote_to_registers(module.main)
+        module.finalize()
+        assert promoted >= 2  # the loop counter and the accumulator
+        phis = [i for i in module.instructions() if isinstance(i, Phi)]
+        assert phis, "loop-carried variables need phis"
+        assert outputs_of(module) == ["10"]
+
+    def test_no_allocas_left_for_scalars(self):
+        module = Module("m")
+        f = FunctionBuilder(module, "main")
+        v = f.local("v", I32, init=3)
+        v.set(v.get() * 2)
+        f.out(v.get())
+        f.done()
+        module.finalize()
+        promote_to_registers(module.main)
+        module.finalize()
+        assert not any(
+            isinstance(i, Alloca) for i in module.instructions()
+        )
+        assert outputs_of(module) == ["6"]
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_o2_preserves_all_benchmarks(self, name):
+        module = cached_module(name)
+        optimized, report = optimize(module, 2)
+        assert outputs_of(optimized) == outputs_of(module)
+        assert report.slots_promoted > 0
+        assert report.after_instructions < report.before_instructions
+
+    def test_o0_is_identity_clone(self, pathfinder_module):
+        clone, report = optimize(pathfinder_module, 0)
+        assert clone is not pathfinder_module
+        assert report.after_instructions == report.before_instructions
+
+    def test_input_not_mutated(self, pathfinder_module):
+        before = print_module(pathfinder_module)
+        optimize(pathfinder_module, 2)
+        assert print_module(pathfinder_module) == before
+
+    def test_bad_level_rejected(self, pathfinder_module):
+        with pytest.raises(ValueError):
+            optimize(pathfinder_module, 3)
+
+    def test_o2_round_trips_through_text(self, pathfinder_module):
+        optimized, _report = optimize(pathfinder_module, 2)
+        text = print_module(optimized)
+        assert "phi" in text
+        reparsed = parse_module(text)
+        assert outputs_of(reparsed) == outputs_of(optimized)
+
+    def test_o2_reduces_dynamic_count(self, pathfinder_module):
+        optimized, _report = optimize(pathfinder_module, 2)
+        assert (
+            ExecutionEngine(optimized).golden().dynamic_count
+            < ExecutionEngine(pathfinder_module).golden().dynamic_count
+        )
+
+
+class TestModelOnOptimizedCode:
+    def test_fi_and_model_run_on_o2(self):
+        from repro.core import Trident
+        from repro.fi import FaultInjector
+        from repro.profiling import ProfilingInterpreter
+
+        module, _ = optimize(cached_module("hotspot"), 2)
+        profile, outputs = ProfilingInterpreter(module).run()
+        injector = FaultInjector(module)
+        assert outputs == injector.golden.outputs
+        campaign = injector.campaign(200, seed=1)
+        model = Trident(module, profile)
+        predicted = model.overall_sdc(samples=200, seed=1)
+        assert 0.0 <= predicted <= 1.0
+        assert abs(predicted - campaign.sdc_probability) < 0.25
+
+    def test_phi_faults_injectable(self):
+        from repro.fi import FaultInjector
+        from repro.interp.engine import Injection
+
+        module, _ = optimize(cached_module("pathfinder"), 2)
+        injector = FaultInjector(module)
+        phi = next(
+            i for i in module.instructions() if isinstance(i, Phi)
+        )
+        assert phi.iid in injector.eligible_iids()
+        result = injector.engine.run(Injection(phi.iid, 1, 30))
+        assert result.outcome in ("ok", "crash", "hang")

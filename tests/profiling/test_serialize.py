@@ -1,0 +1,62 @@
+"""Profile JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.core import Trident
+from repro.profiling.serialize import (
+    FORMAT_VERSION,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from tests.conftest import cached_module, cached_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return cached_profile("pathfinder")[0]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, profile):
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert rebuilt.inst_counts == profile.inst_counts
+        assert rebuilt.branch_counts == profile.branch_counts
+        assert rebuilt.operand_samples == profile.operand_samples
+        assert rebuilt.mem_edges == profile.mem_edges
+        assert rebuilt.store_reader_sets == profile.store_reader_sets
+        assert rebuilt.silent_stores == profile.silent_stores
+        assert rebuilt.dynamic_count == profile.dynamic_count
+        assert (rebuilt.memdep_stats.pruned_fraction
+                == profile.memdep_stats.pruned_fraction)
+
+    def test_json_serializable(self, profile):
+        text = json.dumps(profile_to_dict(profile))
+        assert json.loads(text)["version"] == FORMAT_VERSION
+
+    def test_file_round_trip(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        rebuilt = load_profile(path)
+        assert rebuilt.inst_counts == profile.inst_counts
+
+    def test_model_from_reloaded_profile_identical(self, profile, tmp_path):
+        """A model built from a saved profile predicts identically."""
+        module = cached_module("pathfinder")
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        original = Trident(module, profile)
+        rebuilt = Trident(module, load_profile(path))
+        for iid in original.eligible[:40]:
+            assert rebuilt.instruction_sdc(iid) == pytest.approx(
+                original.instruction_sdc(iid)
+            )
+
+    def test_version_check(self, profile):
+        data = profile_to_dict(profile)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            profile_from_dict(data)

@@ -1,0 +1,182 @@
+"""Knapsack, duplication pass, and protection evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fi import FaultInjector
+from repro.interp import ExecutionEngine
+from repro.ir import FunctionBuilder, I32, Module
+from repro.ir.instructions import Detect
+from repro.profiling import ProfilingInterpreter
+from repro.protection import (
+    KnapsackItem,
+    clone_module,
+    duplicable_iids,
+    duplicate_instructions,
+    evaluate_protection,
+    full_duplication_cost,
+    greedy_select,
+    knapsack_select,
+    select_instructions,
+)
+from tests.conftest import cached_module, cached_profile
+
+
+class TestKnapsack:
+    def test_prefers_high_profit(self):
+        items = [
+            KnapsackItem(1, cost=10, profit=1.0),
+            KnapsackItem(2, cost=10, profit=5.0),
+            KnapsackItem(3, cost=10, profit=3.0),
+        ]
+        assert knapsack_select(items, 20) == {2, 3}
+
+    def test_respects_capacity(self):
+        items = [KnapsackItem(i, cost=7, profit=1.0) for i in range(10)]
+        chosen = knapsack_select(items, 21)
+        assert len(chosen) == 3
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem(1, cost=5, profit=1.0)]
+        assert knapsack_select(items, 0) == set()
+
+    def test_zero_cost_items_always_chosen(self):
+        items = [
+            KnapsackItem(1, cost=0, profit=0.1),
+            KnapsackItem(2, cost=100, profit=9.0),
+        ]
+        assert 1 in knapsack_select(items, 10)
+
+    def test_classic_instance(self):
+        # Weights/profits where greedy-by-density fails but DP succeeds.
+        items = [
+            KnapsackItem(1, cost=10, profit=60.0),   # density 6
+            KnapsackItem(2, cost=20, profit=100.0),  # density 5
+            KnapsackItem(3, cost=30, profit=120.0),  # density 4
+        ]
+        chosen = knapsack_select(items, 50)
+        assert chosen == {2, 3}  # total profit 220 beats greedy's 160
+
+    @given(st.lists(
+        st.tuples(st.integers(1, 50), st.floats(0.0, 10.0)),
+        min_size=1, max_size=25,
+    ), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity_and_beats_greedy(self, raw, capacity):
+        items = [
+            KnapsackItem(i, cost=c, profit=p)
+            for i, (c, p) in enumerate(raw)
+        ]
+        chosen = knapsack_select(items, capacity)
+        assert sum(i.cost for i in items if i.key in chosen) <= capacity
+        dp_profit = sum(i.profit for i in items if i.key in chosen)
+        greedy = greedy_select(items, capacity)
+        greedy_profit = sum(i.profit for i in items if i.key in greedy)
+        assert dp_profit >= greedy_profit - 1e-9
+
+
+class TestDuplication:
+    def test_clone_preserves_behavior(self, accumulator_module):
+        clone = clone_module(accumulator_module)
+        assert (
+            ExecutionEngine(clone).golden().outputs
+            == ExecutionEngine(accumulator_module).golden().outputs
+        )
+        assert clone is not accumulator_module
+
+    def test_duplication_preserves_output(self, accumulator_module):
+        iids = duplicable_iids(accumulator_module)[:10]
+        protected, report = duplicate_instructions(accumulator_module, iids)
+        assert (
+            ExecutionEngine(protected).golden().outputs
+            == ExecutionEngine(accumulator_module).golden().outputs
+        )
+        assert report.duplicated == len(iids)
+
+    def test_full_duplication_of_benchmark(self):
+        module = cached_module("pathfinder")
+        iids = duplicable_iids(module)
+        protected, report = duplicate_instructions(module, iids)
+        assert (
+            ExecutionEngine(protected).golden().outputs
+            == ExecutionEngine(module).golden().outputs
+        )
+        assert report.duplicated == len(iids)
+
+    def test_checks_merged_on_chains(self, accumulator_module):
+        iids = duplicable_iids(accumulator_module)
+        _protected, report = duplicate_instructions(accumulator_module, iids)
+        # Chained duplicable instructions share checks.
+        assert report.checks_merged > 0
+        assert report.checks_inserted + report.checks_merged == len(iids)
+
+    def test_overhead_grows_with_protection(self):
+        module = cached_module("pathfinder")
+        base = ExecutionEngine(module).golden().dynamic_count
+        iids = duplicable_iids(module)
+        half, _ = duplicate_instructions(module, iids[: len(iids) // 2])
+        full, _ = duplicate_instructions(module, iids)
+        half_count = ExecutionEngine(half).golden().dynamic_count
+        full_count = ExecutionEngine(full).golden().dynamic_count
+        assert base < half_count < full_count
+
+    def test_rejects_unduplicable(self, accumulator_module):
+        store_iid = next(
+            i.iid for i in accumulator_module.instructions()
+            if i.opcode == "store"
+        )
+        with pytest.raises(ValueError):
+            duplicate_instructions(accumulator_module, [store_iid])
+
+    def test_detection_catches_injected_fault(self):
+        """Inject into a protected instruction's destination register:
+        the check must fire (Detected, not SDC)."""
+        from repro.interp.engine import Injection
+
+        module = cached_module("pathfinder")
+        profile, _ = cached_profile("pathfinder")
+        hot = max(
+            (iid for iid in duplicable_iids(module)
+             if profile.count(iid) > 0),
+            key=profile.count,
+        )
+        protected, _report = duplicate_instructions(module, [hot])
+        engine = ExecutionEngine(protected)
+        golden = engine.golden()
+        counts = golden.instruction_counts()
+        # Locate the protected original in the new module: it is the
+        # operand of the single Detect instruction.
+        detect = next(
+            i for i in protected.instructions() if isinstance(i, Detect)
+        )
+        original = detect.original
+        outcomes = set()
+        for bit in range(0, original.type.bits, 7):
+            result = engine.run(Injection(original.iid, 1, bit))
+            outcomes.add(result.outcome)
+        assert outcomes <= {"detected", "crash"}
+        assert "detected" in outcomes
+
+
+class TestEvaluation:
+    def test_protection_reduces_sdc(self):
+        module = cached_module("pathfinder")
+        profile, _ = cached_profile("pathfinder")
+        outcome = evaluate_protection(
+            module, profile, "trident", 2 / 3, fi_samples=300, seed=5
+        )
+        assert outcome.protected_sdc < outcome.baseline_sdc
+        assert outcome.sdc_reduction > 0.3
+        assert outcome.protected.detected_probability > 0.0
+
+    def test_bigger_budget_more_protection(self):
+        module = cached_module("pathfinder")
+        profile, _ = cached_profile("pathfinder")
+        small = select_instructions(module, profile, "trident", 1 / 3)
+        large = select_instructions(module, profile, "trident", 2 / 3)
+        assert len(large) >= len(small)
+
+    def test_full_duplication_cost_positive(self):
+        module = cached_module("pathfinder")
+        profile, _ = cached_profile("pathfinder")
+        assert full_duplication_cost(module, profile) > 0

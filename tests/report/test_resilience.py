@@ -1,0 +1,53 @@
+"""The resilience report generator."""
+
+import pytest
+
+from repro.report import generate_report
+from tests.conftest import cached_module, cached_profile
+
+
+@pytest.fixture(scope="module")
+def report():
+    module = cached_module("hercules")
+    profile, _ = cached_profile("hercules")
+    return generate_report(module, profile, target_sdc=0.10, samples=400)
+
+
+class TestReport:
+    def test_overall_values(self, report):
+        assert 0.0 <= report.overall_sdc <= 1.0
+        assert 0.0 <= report.overall_crash <= 1.0
+        assert report.dynamic_instructions > 0
+
+    def test_per_function_breakdown(self, report):
+        names = {f.name for f in report.functions}
+        assert "main" in names
+        assert "laplacian" in names  # hercules is interprocedural
+        for summary in report.functions:
+            assert 0.0 <= summary.weighted_sdc <= 1.0
+
+    def test_hottest_sorted(self, report):
+        for summary in report.functions:
+            probabilities = [p for _i, p, _t in summary.hottest]
+            assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_target_verdict(self, report):
+        assert report.meets_target is (report.overall_sdc <= 0.10)
+
+    def test_recommendation_nonempty(self, report):
+        assert report.recommended_iids
+        assert 0.0 < report.recommended_coverage <= 1.0
+
+    def test_render_markdown(self, report):
+        text = report.render()
+        assert text.startswith("# Resilience report: hercules")
+        assert "## Per-function breakdown" in text
+        assert "## Protection recommendation" in text
+        assert "laplacian" in text
+
+    def test_no_target(self):
+        module = cached_module("nw")
+        profile, _ = cached_profile("nw")
+        result = generate_report(module, profile, samples=200)
+        assert result.meets_target is None
+        assert "target" not in result.render().lower()

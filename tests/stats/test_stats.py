@@ -1,0 +1,137 @@
+"""Statistics: paired t-test (validated against scipy) and intervals."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import scipy.stats
+
+from repro.stats import (
+    binomial_confidence,
+    mean_absolute_error,
+    paired_t_test,
+    regularized_incomplete_beta,
+    samples_for_margin,
+    student_t_two_sided_p,
+)
+
+
+class TestPairedTTest:
+    def test_matches_scipy(self):
+        rng = random.Random(0)
+        a = [rng.random() for _ in range(20)]
+        b = [x + rng.gauss(0.01, 0.05) for x in a]
+        ours = paired_t_test(a, b)
+        scipy_result = scipy.stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(scipy_result.statistic,
+                                               rel=1e-9)
+        assert ours.p_value == pytest.approx(scipy_result.pvalue, rel=1e-6)
+
+    def test_identical_samples_p_one(self):
+        result = paired_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == 1.0
+        assert not result.rejects_null()
+
+    def test_constant_shift_p_zero(self):
+        result = paired_t_test([1.0, 2.0, 3.0], [2.0, 3.0, 4.0])
+        assert result.p_value == 0.0
+        assert result.rejects_null()
+
+    def test_clearly_different_samples_reject(self):
+        rng = random.Random(1)
+        a = [rng.random() for _ in range(30)]
+        b = [x + 0.5 + rng.gauss(0, 0.01) for x in a]
+        assert paired_t_test(a, b).rejects_null()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+
+    @given(st.lists(st.floats(-10, 10), min_size=3, max_size=40),
+           st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_p_value_in_unit_interval_and_matches_scipy(self, a, seed):
+        rng = random.Random(seed)
+        b = [x + rng.gauss(0, 1) for x in a]
+        result = paired_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+        reference = scipy.stats.ttest_rel(a, b)
+        if not math.isnan(reference.pvalue):
+            assert result.p_value == pytest.approx(reference.pvalue,
+                                                   abs=1e-6)
+
+    def test_symmetry(self):
+        a = [1.0, 2.5, 3.0, 4.5]
+        b = [1.5, 2.0, 3.5, 4.0]
+        assert paired_t_test(a, b).p_value == pytest.approx(
+            paired_t_test(b, a).p_value
+        )
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("t,dof", [
+        (0.0, 5), (1.0, 10), (2.5, 3), (-1.5, 30), (4.0, 100),
+    ])
+    def test_t_cdf_matches_scipy(self, t, dof):
+        ours = student_t_two_sided_p(t, dof)
+        reference = 2 * scipy.stats.t.sf(abs(t), dof)
+        assert ours == pytest.approx(reference, rel=1e-8)
+
+    def test_incomplete_beta_bounds(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    @given(st.floats(0.5, 20), st.floats(0.5, 20), st.floats(0.001, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_incomplete_beta_matches_scipy(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        reference = scipy.stats.beta.cdf(x, a, b)
+        assert ours == pytest.approx(reference, abs=1e-8)
+
+
+class TestConfidence:
+    def test_known_margin(self):
+        interval = binomial_confidence(50, 100)
+        assert interval.probability == 0.5
+        assert interval.margin == pytest.approx(1.96 * 0.05, rel=1e-2)
+
+    def test_contains(self):
+        interval = binomial_confidence(50, 100)
+        assert interval.contains(0.5)
+        assert not interval.contains(0.9)
+
+    def test_empty(self):
+        interval = binomial_confidence(0, 0)
+        assert interval.probability == 0.0
+
+    def test_paper_error_bar_range(self):
+        """With 3000 samples the paper reports ±0.07%..±1.76%; our
+        margin at p=0.13 and n=3000 must land inside that band."""
+        interval = binomial_confidence(int(0.13 * 3000), 3000)
+        assert 0.0007 <= interval.margin <= 0.0176
+
+    def test_samples_for_margin(self):
+        n = samples_for_margin(0.02)
+        assert 2300 <= n <= 2500  # 1.96^2*0.25/0.0004
+
+    def test_samples_for_margin_validation(self):
+        with pytest.raises(ValueError):
+            samples_for_margin(0.0)
+
+
+class TestMae:
+    def test_basic(self):
+        assert mean_absolute_error([1.0, 2.0], [1.5, 1.5]) == 0.5
+
+    def test_zero_for_identical(self):
+        assert mean_absolute_error([0.3, 0.4], [0.3, 0.4]) == 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [])
