@@ -8,6 +8,12 @@ set the environment variables below for a fuller (slower) run:
     REPRO_SCALE=small|default   benchmark input scale
     REPRO_FI_SAMPLES=3000       FI samples per program (paper: 3000)
     REPRO_PER_INST_RUNS=100     FI runs per instruction (paper: 100)
+    REPRO_FI_WORKERS=4          worker processes for FI campaigns
+    REPRO_FI_CI_HALFWIDTH=0.01  stop campaigns at this Wilson 95% CI
+                                half-width on the SDC probability
+
+Campaign counts are bit-identical for any REPRO_FI_WORKERS value;
+REPRO_FI_CI_HALFWIDTH trades sample count for wall-clock.
 
 Rendered reports are printed (visible with ``-s``) and written to
 ``benchmarks/results/``.
@@ -16,6 +22,7 @@ Rendered reports are printed (visible with ``-s``) and written to
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -31,6 +38,7 @@ def _int_env(name: str, default: int) -> int:
 
 
 def harness_config() -> ExperimentConfig:
+    halfwidth = os.environ.get("REPRO_FI_CI_HALFWIDTH")
     return ExperimentConfig(
         scale=os.environ.get("REPRO_SCALE", "test"),
         fi_samples=_int_env("REPRO_FI_SAMPLES", 400),
@@ -39,6 +47,8 @@ def harness_config() -> ExperimentConfig:
         max_instructions=_int_env("REPRO_MAX_INSTRUCTIONS", 60),
         protection_fi_samples=_int_env("REPRO_PROTECTION_SAMPLES", 300),
         benchmarks=BENCHMARK_NAMES,
+        fi_workers=_int_env("REPRO_FI_WORKERS", 1),
+        fi_ci_halfwidth=float(halfwidth) if halfwidth else None,
     )
 
 
@@ -53,14 +63,8 @@ def fig8_workspace() -> Workspace:
     representative subset by default (REPRO_FIG8_ALL=1 for all 11)."""
     config = harness_config()
     if not os.environ.get("REPRO_FIG8_ALL"):
-        config = ExperimentConfig(
-            scale=config.scale,
-            fi_samples=config.fi_samples,
-            model_samples=config.model_samples,
-            per_instruction_runs=config.per_instruction_runs,
-            max_instructions=config.max_instructions,
-            protection_fi_samples=config.protection_fi_samples,
-            benchmarks=("pathfinder", "hotspot", "nw", "bfs_parboil"),
+        config = replace(
+            config, benchmarks=("pathfinder", "hotspot", "nw", "bfs_parboil")
         )
     return Workspace(config)
 

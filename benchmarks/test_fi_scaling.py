@@ -1,0 +1,44 @@
+"""FI scaling smoke: a parallel campaign must beat serial wall-clock.
+
+Counts must stay bit-identical while only wall-clock changes — the
+whole point of the seed protocol.  Skipped on single-CPU machines,
+where a pool can only add overhead; the >= 2x speedup bar applies when
+4 real cores are available.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.fi import FaultInjector, ModuleSpec, run_parallel_campaign
+
+CPUS = os.cpu_count() or 1
+
+
+@pytest.mark.skipif(CPUS < 2, reason="parallel speedup needs >= 2 CPUs")
+def test_parallel_beats_serial_wall_clock():
+    runs = int(os.environ.get("REPRO_SCALING_RUNS", 2000 if CPUS >= 4 else 500))
+    workers = 4 if CPUS >= 4 else 2
+    spec = ModuleSpec.from_benchmark("blackscholes", "test")
+    injector = FaultInjector(spec.materialize())
+
+    started = time.perf_counter()
+    serial = injector.campaign(runs, seed=1)
+    serial_wall = time.perf_counter() - started
+
+    parallel = run_parallel_campaign(
+        runs, seed=1, spec=spec, workers=workers,
+    )
+
+    assert parallel.counts == serial.counts
+    assert not parallel.degraded
+    assert parallel.wall_seconds < serial_wall
+    if CPUS >= 4:
+        speedup = serial_wall / parallel.wall_seconds
+        assert speedup >= 2.0, (
+            f"4-worker campaign only {speedup:.2f}x faster "
+            f"({serial_wall:.2f}s serial vs {parallel.wall_seconds:.2f}s)"
+        )

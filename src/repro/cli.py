@@ -14,7 +14,8 @@ import sys
 from .bench.registry import BENCHMARK_NAMES, all_benchmarks, build_module
 from .core.simple_models import MODEL_NAMES, build_model
 from .core.trident import Trident
-from .fi.campaign import FaultInjector, OUTCOMES
+from .fi.campaign import CampaignResult, FaultInjector, OUTCOMES
+from .fi.parallel import ModuleSpec, run_parallel_campaign
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
 from .interp.engine import ExecutionEngine
@@ -57,13 +58,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
     report.add_argument("--target", type=float, default=None,
                         help="target SDC probability, e.g. 0.05")
     report.add_argument("--budget", type=float, default=1 / 3)
+    report.add_argument("--fi-runs", type=int, default=0,
+                        help="validate the report with an FI campaign of "
+                             "up to this many runs (0 = predictions only)")
+    _add_campaign_args(report)
 
     inject = commands.add_parser(
         "inject", help="run a fault injection campaign (ground truth)"
     )
     _add_benchmark_args(inject)
-    inject.add_argument("--runs", type=int, default=1000)
-    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("--runs", type=int, default=1000,
+                        help="maximum injection runs")
+    _add_campaign_args(inject)
 
     protect = commands.add_parser(
         "protect", help="selective duplication under an overhead budget"
@@ -81,7 +87,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
     experiment.add_argument("--scale", default="test")
     experiment.add_argument("--fi-samples", type=int, default=400)
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="worker processes for FI campaigns")
+    experiment.add_argument("--ci-halfwidth", type=float, default=None,
+                            help="stop FI campaigns early at this Wilson "
+                                 "95%% CI half-width on the SDC probability")
     return parser
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; results are reproducible for "
+                             "a given seed regardless of --workers")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial, in-process)")
+    parser.add_argument("--ci-halfwidth", type=float, default=None,
+                        help="stop early once the Wilson 95%% CI half-width "
+                             "on the SDC probability is below this "
+                             "(paper methodology: 0.01)")
 
 
 def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
@@ -148,16 +171,40 @@ def _cmd_analyze(args, out) -> int:
     return 0
 
 
+def _run_campaign(args, runs: int) -> CampaignResult:
+    spec = ModuleSpec.from_benchmark(
+        args.benchmark, args.scale, args.input_seed
+    )
+    return run_parallel_campaign(
+        runs, seed=args.seed, spec=spec,
+        workers=args.workers, ci_halfwidth=args.ci_halfwidth,
+    )
+
+
+def _print_campaign_summary(campaign: CampaignResult, out) -> None:
+    stopped = ""
+    if campaign.stopped_early:
+        stopped = (f" (stopped early after {campaign.rounds} rounds: "
+                   f"CI target met)")
+    print(f"runs executed: {campaign.total}/{campaign.runs_requested}"
+          f"{stopped}", file=out)
+    workers = f"{campaign.workers} worker{'s' if campaign.workers != 1 else ''}"
+    if campaign.degraded:
+        workers += " (pool degraded to serial)"
+    print(f"wall clock: {campaign.wall_seconds:.2f} s on {workers} "
+          f"({campaign.cpu_seconds:.2f} CPU s)", file=out)
+
+
 def _cmd_inject(args, out) -> int:
-    module = build_module(args.benchmark, args.scale, args.input_seed)
-    injector = FaultInjector(module)
-    campaign = injector.campaign(args.runs, seed=args.seed)
-    print(f"program: {module.name}; {campaign.total} injections", file=out)
+    campaign = _run_campaign(args, args.runs)
+    print(f"program: {args.benchmark}; {campaign.total} injections",
+          file=out)
     for outcome in OUTCOMES:
         probability = campaign.probability(outcome)
         margin = campaign.margin_of_error(outcome)
         print(f"  {outcome:9s} {probability * 100:6.2f}% "
               f"(± {margin * 100:.2f}%)", file=out)
+    _print_campaign_summary(campaign, out)
     return 0
 
 
@@ -183,9 +230,10 @@ def _cmd_protect(args, out) -> int:
 def _cmd_report(args, out) -> int:
     module = build_module(args.benchmark, args.scale, args.input_seed)
     profile, _outputs = ProfilingInterpreter(module).run()
+    fi = _run_campaign(args, args.fi_runs) if args.fi_runs > 0 else None
     report = generate_report(
         module, profile, target_sdc=args.target,
-        overhead_budget=args.budget,
+        overhead_budget=args.budget, fi=fi,
     )
     print(report.render(), file=out)
     return 0
@@ -196,6 +244,8 @@ def _cmd_experiment(args, out) -> int:
         scale=args.scale,
         fi_samples=args.fi_samples,
         model_samples=args.fi_samples,
+        fi_workers=args.workers,
+        fi_ci_halfwidth=args.ci_halfwidth,
     )
     workspace = Workspace(config)
     names = list(EXPERIMENTS) if args.id == "all" else [args.id]

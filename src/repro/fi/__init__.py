@@ -10,8 +10,16 @@ from .campaign import (
     OUTCOMES,
     SDC,
 )
+from .parallel import (
+    CampaignSettings,
+    ModuleSpec,
+    ParallelCampaign,
+    run_parallel_campaign,
+)
+from .seeds import rng_for, seed_for
 
 __all__ = [
-    "BENIGN", "CAUGHT", "CRASHED", "CampaignResult", "FaultInjector",
-    "HUNG", "OUTCOMES", "SDC",
+    "BENIGN", "CAUGHT", "CRASHED", "CampaignResult", "CampaignSettings",
+    "FaultInjector", "HUNG", "ModuleSpec", "OUTCOMES", "ParallelCampaign",
+    "SDC", "rng_for", "run_parallel_campaign", "seed_for",
 ]

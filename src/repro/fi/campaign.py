@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..interp.engine import ExecutionEngine, Injection
 from ..interp.result import CRASH, DETECTED, HANG, OK
 from ..ir.module import Module
+from .seeds import rng_for, seed_for
 
 #: Outcome labels used throughout the evaluation.
 SDC = "sdc"
@@ -31,10 +32,29 @@ OUTCOMES = (SDC, CRASHED, HUNG, BENIGN, CAUGHT)
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcome counts of one FI campaign."""
+    """Aggregated outcome counts of one FI campaign.
+
+    ``counts``/``wall_seconds``/``cpu_seconds`` are additive under
+    :meth:`merge`; the remaining fields describe the campaign that
+    produced the result (how many runs were requested, whether the
+    confidence-interval stopping rule fired, how many rounds ran, how
+    many workers executed it) and are set by the campaign driver after
+    merging, not by ``merge`` itself.
+    """
 
     counts: dict[str, int] = field(default_factory=lambda: {o: 0 for o in OUTCOMES})
+    #: End-to-end elapsed time observed by the campaign driver.
     wall_seconds: float = 0.0
+    #: Summed per-run execution time across all workers (== wall_seconds
+    #: for a serial campaign).
+    cpu_seconds: float = 0.0
+    runs_requested: int = 0
+    stopped_early: bool = False
+    rounds: int = 0
+    workers: int = 1
+    #: True when a parallel campaign lost its worker pool and fell back
+    #: to in-process serial execution (no counts are ever lost).
+    degraded: bool = False
 
     @property
     def total(self) -> int:
@@ -75,6 +95,7 @@ class CampaignResult:
         for outcome in OUTCOMES:
             merged.counts[outcome] = self.counts[outcome] + other.counts[outcome]
         merged.wall_seconds = self.wall_seconds + other.wall_seconds
+        merged.cpu_seconds = self.cpu_seconds + other.cpu_seconds
         return merged
 
 
@@ -149,30 +170,56 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
 
-    def campaign(self, n: int, seed: int = 0) -> CampaignResult:
-        """Statistical campaign: n random faults over the whole program."""
-        rng = random.Random(seed)
+    def run_span(self, start: int, count: int,
+                 campaign_seed: int) -> CampaignResult:
+        """Execute runs [start, start+count) of a seeded campaign.
+
+        Each run draws from its own substream (see :mod:`repro.fi.seeds`),
+        so a span's counts depend only on the campaign seed and the run
+        indices it covers — never on which process executes it or what
+        ran before it.  Campaign drivers partition [0, n) into spans.
+        """
         result = CampaignResult()
         started = time.perf_counter()
-        for _ in range(n):
+        for run_index in range(start, start + count):
+            rng = rng_for(campaign_seed, run_index)
             outcome = self.run_one(self.sample_injection(rng))
             result.counts[outcome] += 1
-        result.wall_seconds = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        result.wall_seconds = elapsed
+        result.cpu_seconds = elapsed
+        return result
+
+    def campaign(self, n: int, seed: int = 0) -> CampaignResult:
+        """Statistical campaign: n random faults over the whole program."""
+        result = self.run_span(0, n, seed)
+        result.runs_requested = n
+        result.rounds = 1
         return result
 
     def per_instruction_campaign(
         self, iids, runs_per_instruction: int, seed: int = 0,
     ) -> dict[int, CampaignResult]:
-        """Targeted campaign: fixed number of faults per static instruction."""
-        rng = random.Random(seed)
+        """Targeted campaign: fixed number of faults per static instruction.
+
+        Each (instruction, run) pair has its own substream, keyed first
+        by instruction id and then by run index, so per-instruction
+        results are independent of the order instructions are visited.
+        """
         results: dict[int, CampaignResult] = {}
         for iid in iids:
+            instruction_seed = seed_for(seed, iid)
             result = CampaignResult()
             started = time.perf_counter()
-            for _ in range(runs_per_instruction):
+            for run_index in range(runs_per_instruction):
+                rng = rng_for(instruction_seed, run_index)
                 outcome = self.run_one(self.injection_for(iid, rng))
                 result.counts[outcome] += 1
-            result.wall_seconds = time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            result.wall_seconds = elapsed
+            result.cpu_seconds = elapsed
+            result.runs_requested = runs_per_instruction
+            result.rounds = 1
             results[iid] = result
         return results
 

@@ -1,0 +1,276 @@
+"""Parallel, early-stopping fault-injection campaigns.
+
+A campaign of N runs is embarrassingly parallel once every run draws
+from its own seed substream (:mod:`repro.fi.seeds`): the run space
+[0, N) is partitioned into contiguous spans, spans are executed on a
+``multiprocessing`` pool, and the per-span :class:`CampaignResult`
+counts are merged.  Workers cannot receive an :class:`ExecutionEngine`
+(its compiled steps are closures), so each worker re-materializes the
+module from a picklable :class:`ModuleSpec` — either a benchmark
+recipe ``(name, scale, input_seed)`` or the module's printed IR — and
+builds its own :class:`FaultInjector` once, caching it across spans.
+
+On top of the pool sits *iterative statistical injection* (the DAVOS
+recipe): runs execute in rounds, and the campaign stops as soon as the
+Wilson confidence interval on the chosen outcome's probability is
+narrower than a configured half-width.  Because every run is seeded by
+its global index, the executed prefix [0, runs_executed) is identical
+whether the campaign ran serially, on 4 workers, or chunked in any
+other way — parallelism and chunking affect wall-clock only, never
+counts.
+
+Failure policy: if the pool cannot be created, a worker crashes, or a
+round times out, the unfinished round is re-executed serially in the
+driver process (no partial round is ever merged twice, and no counts
+are lost) and the campaign continues in-process.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from ..bench.registry import build_module
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..stats.confidence import Z_95, wilson_confidence
+from .campaign import CampaignResult, FaultInjector, SDC
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Picklable recipe a worker uses to re-materialize a Module."""
+
+    benchmark: str | None = None
+    scale: str = "default"
+    input_seed: int = 0
+    ir_text: str | None = None
+
+    @classmethod
+    def from_benchmark(cls, name: str, scale: str = "default",
+                       input_seed: int = 0) -> "ModuleSpec":
+        return cls(benchmark=name, scale=scale, input_seed=input_seed)
+
+    @classmethod
+    def from_module(cls, module: Module) -> "ModuleSpec":
+        """Spec for an arbitrary (e.g. optimized or protected) module,
+        shipped as printed IR and re-parsed in the worker."""
+        return cls(ir_text=print_module(module))
+
+    def materialize(self) -> Module:
+        if self.benchmark is not None:
+            return build_module(self.benchmark, self.scale, self.input_seed)
+        if self.ir_text is None:
+            raise ValueError("ModuleSpec names neither a benchmark nor IR")
+        return parse_module(self.ir_text)
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Knobs of the parallel/early-stopping campaign driver."""
+
+    workers: int = 1
+    #: Runs per pool task; 0 = one contiguous span per worker per round.
+    chunk_size: int = 0
+    #: Stop once the Wilson CI half-width on ``ci_outcome`` drops below
+    #: this; None disables early stopping (all runs execute).
+    ci_halfwidth: float | None = None
+    ci_outcome: str = SDC
+    ci_z: float = Z_95
+    #: Runs per early-stopping round; 0 = auto.
+    round_size: int = 0
+    #: Never stop before this many runs (guards tiny-sample intervals).
+    min_runs: int = 100
+    #: Per-round pool timeout in seconds; on expiry the round is retried
+    #: serially.  None = wait indefinitely.
+    round_timeout: float | None = None
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  The injector is cached per process and per spec; tasks
+# carry the spec so a failed materialization surfaces as an ordinary
+# task exception in the driver (never a silent worker-respawn loop).
+
+_WORKER_SPEC: ModuleSpec | None = None
+_WORKER_INJECTOR: FaultInjector | None = None
+
+
+def _run_span_task(task) -> tuple[dict[str, int], float]:
+    global _WORKER_SPEC, _WORKER_INJECTOR
+    spec, start, count, campaign_seed = task
+    if _WORKER_INJECTOR is None or _WORKER_SPEC != spec:
+        _WORKER_INJECTOR = FaultInjector(spec.materialize())
+        _WORKER_SPEC = spec
+    result = _WORKER_INJECTOR.run_span(start, count, campaign_seed)
+    return result.counts, result.cpu_seconds
+
+
+# ---------------------------------------------------------------------------
+# Driver side.
+
+
+class ParallelCampaign:
+    """Campaign driver: chunking, worker pool, early stopping, fallback."""
+
+    def __init__(self, spec: ModuleSpec | None = None, *,
+                 injector: FaultInjector | None = None,
+                 settings: CampaignSettings | None = None):
+        if spec is None and injector is None:
+            raise ValueError("need a ModuleSpec or a FaultInjector")
+        self._spec = spec
+        self._injector = injector
+        self.settings = settings or CampaignSettings()
+
+    @property
+    def injector(self) -> FaultInjector:
+        """The in-process injector (serial path and fallback)."""
+        if self._injector is None:
+            self._injector = FaultInjector(self._spec.materialize())
+        return self._injector
+
+    def spec(self) -> ModuleSpec:
+        if self._spec is not None:
+            return self._spec
+        return ModuleSpec.from_module(self._injector.module)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _round_size(self, max_runs: int) -> int:
+        settings = self.settings
+        if settings.ci_halfwidth is None:
+            return max_runs  # no stopping rule: one round covers everything
+        if settings.round_size > 0:
+            return settings.round_size
+        return max(settings.min_runs, 50 * max(1, settings.workers))
+
+    def _spans(self, start: int, count: int, seed: int,
+               spec: ModuleSpec | None) -> list:
+        chunk = self.settings.chunk_size
+        if chunk <= 0:
+            chunk = math.ceil(count / max(1, self.settings.workers))
+        spans = []
+        offset, end = start, start + count
+        while offset < end:
+            size = min(chunk, end - offset)
+            spans.append((spec, offset, size, seed))
+            offset += size
+        return spans
+
+    def _interval_tight(self, result: CampaignResult) -> bool:
+        settings = self.settings
+        if settings.ci_halfwidth is None:
+            return False
+        if result.total < max(1, settings.min_runs):
+            return False
+        interval = wilson_confidence(
+            result.counts[settings.ci_outcome], result.total, settings.ci_z
+        )
+        return interval.margin <= settings.ci_halfwidth
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, max_runs: int, seed: int = 0) -> CampaignResult:
+        """Execute up to ``max_runs`` injections of campaign ``seed``."""
+        settings = self.settings
+        workers = max(1, settings.workers)
+        started = time.perf_counter()
+        result = CampaignResult()
+        pool = None
+        use_pool = workers > 1
+        degraded = False
+        executed = 0
+        rounds = 0
+        try:
+            while executed < max_runs:
+                round_runs = min(self._round_size(max_runs),
+                                 max_runs - executed)
+                span_results = None
+                if use_pool:
+                    if pool is None:
+                        pool = self._make_pool(workers)
+                        if pool is None:
+                            use_pool, degraded = False, True
+                    if pool is not None:
+                        span_results = self._map_round(
+                            pool, executed, round_runs, seed
+                        )
+                        if span_results is None:  # pool died mid-round
+                            pool = self._discard_pool(pool)
+                            use_pool, degraded = False, True
+                if span_results is None:
+                    span_results = [
+                        (span_result.counts, span_result.cpu_seconds)
+                        for span_result in (
+                            self.injector.run_span(start, size, seed)
+                            for _spec, start, size, _seed in
+                            self._spans(executed, round_runs, seed, None)
+                        )
+                    ]
+                for counts, cpu_seconds in span_results:
+                    for outcome, n in counts.items():
+                        result.counts[outcome] += n
+                    result.cpu_seconds += cpu_seconds
+                executed += round_runs
+                rounds += 1
+                if self._interval_tight(result):
+                    result.stopped_early = True
+                    break
+        finally:
+            if pool is not None:
+                self._discard_pool(pool)
+        result.wall_seconds = time.perf_counter() - started
+        result.runs_requested = max_runs
+        result.rounds = rounds
+        result.workers = workers if use_pool else 1
+        result.degraded = degraded
+        return result
+
+    def _make_pool(self, workers: int):
+        try:
+            return multiprocessing.get_context().Pool(workers)
+        except Exception:
+            return None
+
+    def _map_round(self, pool, start: int, count: int, seed: int):
+        """Run one round on the pool; None means 'retry serially'."""
+        spans = self._spans(start, count, seed, self.spec())
+        try:
+            pending = pool.map_async(_run_span_task, spans, chunksize=1)
+            return pending.get(self.settings.round_timeout)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _discard_pool(pool):
+        pool.terminate()
+        pool.join()
+        return None
+
+
+def run_parallel_campaign(
+    runs: int, seed: int = 0, *,
+    spec: ModuleSpec | None = None,
+    injector: FaultInjector | None = None,
+    workers: int = 1,
+    chunk_size: int = 0,
+    ci_halfwidth: float | None = None,
+    ci_outcome: str = SDC,
+    ci_z: float = Z_95,
+    round_size: int = 0,
+    min_runs: int = 100,
+    round_timeout: float | None = None,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`ParallelCampaign`."""
+    campaign = ParallelCampaign(
+        spec, injector=injector,
+        settings=CampaignSettings(
+            workers=workers, chunk_size=chunk_size,
+            ci_halfwidth=ci_halfwidth, ci_outcome=ci_outcome, ci_z=ci_z,
+            round_size=round_size, min_runs=min_runs,
+            round_timeout=round_timeout,
+        ),
+    )
+    return campaign.run(runs, seed=seed)

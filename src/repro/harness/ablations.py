@@ -78,7 +78,7 @@ def run_ablations(workspace: Workspace) -> AblationResult:
     crash_predictions: dict[str, float] = {}
 
     for ctx in workspace.contexts():
-        campaign = ctx.injector.campaign(config.fi_samples, seed=config.seed)
+        campaign = ctx.fi_campaign(config.fi_samples, seed=config.seed)
         fi_sdc[ctx.name] = campaign.sdc_probability
         fi_crash[ctx.name] = campaign.crash_probability
         for variant, variant_config in ABLATIONS.items():

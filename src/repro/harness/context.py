@@ -14,7 +14,8 @@ from functools import cached_property
 from ..bench.registry import BENCHMARK_NAMES, build_module, get_benchmark
 from ..core.simple_models import build_model
 from ..core.trident import Trident
-from ..fi.campaign import FaultInjector
+from ..fi.campaign import CampaignResult, FaultInjector
+from ..fi.parallel import ModuleSpec, run_parallel_campaign
 from ..interp.engine import ExecutionEngine
 from ..ir.module import Module
 from ..profiling.profile import ProgramProfile
@@ -38,6 +39,11 @@ class ExperimentConfig:
     protection_fi_samples: int = 500
     seed: int = 2018
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+    #: Worker processes for FI campaigns (1 = serial, in-process).
+    fi_workers: int = 1
+    #: Early-stopping target: stop a campaign once the Wilson 95% CI
+    #: half-width on the SDC probability is below this (None = run all).
+    fi_ci_halfwidth: float | None = None
 
 
 #: Small config used by the pytest benchmarks to keep runtimes bounded.
@@ -82,6 +88,28 @@ class BenchmarkContext:
     def model(self, name: str) -> Trident:
         """A freshly-built model over the cached profile."""
         return build_model(name, self.module, self.profile)
+
+    def fi_campaign(self, runs: int | None = None,
+                    seed: int | None = None) -> CampaignResult:
+        """FI campaign honoring the config's worker/early-stop knobs.
+
+        Identical counts to ``injector.campaign`` for any worker count;
+        with ``fi_ci_halfwidth`` set it may execute fewer runs.
+        """
+        config = self.config
+        if runs is None:
+            runs = config.fi_samples
+        if seed is None:
+            seed = config.seed
+        if config.fi_workers <= 1 and config.fi_ci_halfwidth is None:
+            return self.injector.campaign(runs, seed=seed)
+        return run_parallel_campaign(
+            runs, seed=seed,
+            spec=ModuleSpec.from_benchmark(self.name, config.scale),
+            injector=self.injector,
+            workers=config.fi_workers,
+            ci_halfwidth=config.fi_ci_halfwidth,
+        )
 
 
 class Workspace:

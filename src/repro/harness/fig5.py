@@ -65,7 +65,7 @@ def run_fig5(workspace: Workspace) -> Fig5Result:
     config = workspace.config
     rows = []
     for ctx in workspace.contexts():
-        campaign = ctx.injector.campaign(config.fi_samples, seed=config.seed)
+        campaign = ctx.fi_campaign(config.fi_samples, seed=config.seed)
         interval = binomial_confidence(
             campaign.counts[SDC], campaign.total
         )

@@ -52,7 +52,7 @@ def run_fig9(workspace: Workspace) -> Fig9Result:
     config = workspace.config
     rows = []
     for ctx in workspace.contexts():
-        campaign = ctx.injector.campaign(config.fi_samples, seed=config.seed)
+        campaign = ctx.fi_campaign(config.fi_samples, seed=config.seed)
         trident = ctx.model("trident").overall_sdc(
             samples=config.model_samples, seed=config.seed
         )

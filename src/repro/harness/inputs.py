@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..bench.registry import build_module
 from ..core.trident import Trident
 from ..fi.campaign import FaultInjector
+from ..fi.parallel import ModuleSpec, run_parallel_campaign
 from ..profiling.profiler import ProfilingInterpreter
 from ..stats import mean_absolute_error
 from .context import Workspace
@@ -83,7 +84,15 @@ def run_input_sensitivity(workspace: Workspace,
             module = build_module(name, config.scale, input_seed=input_seed)
             profile, _ = ProfilingInterpreter(module).run()
             injector = FaultInjector(module)
-            campaign = injector.campaign(config.fi_samples, seed=config.seed)
+            campaign = run_parallel_campaign(
+                config.fi_samples, seed=config.seed,
+                spec=ModuleSpec.from_benchmark(
+                    name, config.scale, input_seed=input_seed
+                ),
+                injector=injector,
+                workers=config.fi_workers,
+                ci_halfwidth=config.fi_ci_halfwidth,
+            )
             fi_values.append(campaign.sdc_probability)
             model = Trident(module, profile)
             model_values.append(model.overall_sdc(

@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.trident import Trident
+from ..fi.campaign import CampaignResult, SDC
 from ..ir.instructions import Instruction
 from ..ir.module import Module
 from ..ir.printer import format_instruction
 from ..profiling.profile import ProgramProfile
+from ..stats.confidence import wilson_confidence
 from ..protection.duplication import is_duplicable
 from ..protection.evaluate import duplication_cost, full_duplication_cost
 from ..protection.knapsack import KnapsackItem, knapsack_select
@@ -41,6 +43,8 @@ class ResilienceReport:
     recommended_iids: set[int]
     recommended_coverage: float   # fraction of SDC mass covered
     recommended_overhead: float   # fraction of full-duplication cost
+    #: Optional FI validation campaign backing the predictions.
+    fi: CampaignResult | None = None
 
     def render(self) -> str:
         lines = [
@@ -77,6 +81,26 @@ class ResilienceReport:
                     f"* `#{iid}` ({summary.name}) {probability:.2%} — "
                     f"`{text}`"
                 )
+        if self.fi is not None:
+            fi = self.fi
+            interval = wilson_confidence(fi.counts[SDC], fi.total)
+            stopped = " — stopped early at CI target" if fi.stopped_early \
+                else ""
+            lines.append("")
+            lines.append("## Fault injection validation")
+            lines.append("")
+            lines.append(
+                f"* measured SDC probability: **{interval.probability:.2%} "
+                f"± {interval.margin:.2%}** (Wilson 95%)"
+            )
+            lines.append(
+                f"* runs executed: {fi.total} of {fi.runs_requested} "
+                f"requested{stopped}"
+            )
+            lines.append(
+                f"* wall clock: {fi.wall_seconds:.2f} s on {fi.workers} "
+                f"worker(s), {fi.cpu_seconds:.2f} CPU-seconds"
+            )
         lines.append("")
         lines.append("## Protection recommendation")
         lines.append("")
@@ -93,8 +117,13 @@ def generate_report(module: Module, profile: ProgramProfile,
                     target_sdc: float | None = None,
                     overhead_budget: float = 1 / 3,
                     top_per_function: int = 3,
-                    samples: int = 2000) -> ResilienceReport:
-    """Build the report from one profiled execution (no FI)."""
+                    samples: int = 2000,
+                    fi: CampaignResult | None = None) -> ResilienceReport:
+    """Build the report from one profiled execution.
+
+    ``fi`` optionally attaches a measured FI campaign, rendered as a
+    validation section with its wall-clock/runs-executed summary.
+    """
     model = Trident(module, profile)
     overall = model.overall_sdc(samples=samples, seed=0)
     crash = model.overall_crash(samples=min(samples, 1000), seed=0)
@@ -158,4 +187,5 @@ def generate_report(module: Module, profile: ProgramProfile,
         recommended_iids=chosen,
         recommended_coverage=covered / total_mass if total_mass else 0.0,
         recommended_overhead=overhead_budget,
+        fi=fi,
     )

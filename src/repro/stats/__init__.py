@@ -7,6 +7,7 @@ from .confidence import (
     binomial_confidence,
     mean_absolute_error,
     samples_for_margin,
+    wilson_confidence,
 )
 from .ttest import (
     TTestResult,
@@ -18,5 +19,5 @@ from .ttest import (
 __all__ = [
     "ConfidenceInterval", "TTestResult", "Z_95", "binomial_confidence",
     "mean_absolute_error", "paired_t_test", "regularized_incomplete_beta",
-    "samples_for_margin", "student_t_two_sided_p",
+    "samples_for_margin", "student_t_two_sided_p", "wilson_confidence",
 ]

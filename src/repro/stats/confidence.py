@@ -45,6 +45,28 @@ def binomial_confidence(successes: int, samples: int,
     return ConfidenceInterval(p, margin, samples)
 
 
+def wilson_confidence(successes: int, samples: int,
+                      z: float = Z_95) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the Wald interval it stays meaningful at the extremes
+    (0 or n successes), which is exactly where iterative statistical
+    injection needs it: a campaign on a near-0% SDC program must see
+    its half-width shrink instead of collapsing to zero.  The returned
+    ``probability`` is the Wilson midpoint, not the raw proportion.
+    """
+    if samples <= 0:
+        return ConfidenceInterval(0.0, 0.0, 0)
+    p = successes / samples
+    z2 = z * z
+    denominator = 1.0 + z2 / samples
+    center = (p + z2 / (2.0 * samples)) / denominator
+    margin = z * math.sqrt(
+        p * (1.0 - p) / samples + z2 / (4.0 * samples * samples)
+    ) / denominator
+    return ConfidenceInterval(center, margin, samples)
+
+
 def samples_for_margin(margin: float, p: float = 0.5,
                        z: float = Z_95) -> int:
     """How many FI runs to hit a target margin of error (planning aid)."""

@@ -11,9 +11,27 @@ from repro.fi import (
     FaultInjector,
     OUTCOMES,
     SDC,
+    run_parallel_campaign,
 )
+from repro.stats import wilson_confidence
 from repro.ir import FunctionBuilder, I32, Module
-from tests.conftest import cached_module
+from tests.conftest import build_straightline_module, cached_module
+
+
+def build_constant_output_module(n: int = 8) -> Module:
+    """A program whose output is a constant: SDC probability exactly 0.
+
+    Injectable values feed only dead stores and address arithmetic, so
+    every fault lands as benign, crash, or hang — never SDC.
+    """
+    module = Module("deadstore")
+    f = FunctionBuilder(module, "main")
+    a = f.local("a", I32, init=5)
+    arr = f.array("arr", I32, n)
+    f.for_range(0, n, lambda i: arr.__setitem__(i, a.get() * 2))
+    f.out(7)
+    f.done()
+    return module.finalize()
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +121,118 @@ class TestCampaigns:
         result = injector.campaign(200, seed=1)
         # A multiply feeding the output: most bit flips must be SDCs.
         assert result.sdc_probability > 0.5
+
+
+class TestRunSpan:
+    def test_spans_compose_to_campaign(self, injector):
+        """[0,n) in one span == two adjacent spans merged == campaign."""
+        whole = injector.campaign(60, seed=4)
+        first = injector.run_span(0, 25, 4)
+        second = injector.run_span(25, 35, 4)
+        assert first.merge(second).counts == whole.counts
+
+    def test_span_independent_of_execution_order(self, injector):
+        forward = injector.run_span(10, 20, 4)
+        injector.run_span(0, 10, 4)  # running another span in between...
+        again = injector.run_span(10, 20, 4)  # ...must not change it
+        assert forward.counts == again.counts
+
+
+class TestEarlyStopping:
+    def test_zero_sdc_program_stops_before_max_runs(self):
+        injector = FaultInjector(build_constant_output_module())
+        result = run_parallel_campaign(
+            4000, seed=1, injector=injector,
+            ci_halfwidth=0.02, round_size=100, min_runs=100,
+        )
+        assert result.stopped_early
+        assert result.total < 4000
+        assert result.sdc_probability == 0.0
+
+    def test_high_sdc_program_stops_and_ci_covers_full_estimate(self):
+        module = build_straightline_module()
+        injector = FaultInjector(module)
+        full = injector.campaign(800, seed=1)
+        stopped = run_parallel_campaign(
+            800, seed=1, injector=injector,
+            ci_halfwidth=0.10, round_size=50, min_runs=100,
+        )
+        assert stopped.stopped_early
+        assert stopped.total < full.total
+        interval = wilson_confidence(stopped.counts[SDC], stopped.total)
+        assert interval.low <= full.sdc_probability <= interval.high
+
+    def test_stopped_prefix_matches_serial_prefix(self, injector):
+        """The early-stopped runs are exactly the serial prefix [0, n)."""
+        stopped = run_parallel_campaign(
+            2000, seed=1, injector=injector,
+            ci_halfwidth=0.05, round_size=100, min_runs=100,
+        )
+        prefix = injector.run_span(0, stopped.total, 1)
+        assert stopped.counts == prefix.counts
+
+    def test_no_stopping_without_halfwidth(self, injector):
+        result = run_parallel_campaign(120, seed=2, injector=injector)
+        assert result.total == 120
+        assert not result.stopped_early
+        assert result.rounds == 1
+
+    def test_workers1_uses_serial_path(self, injector):
+        """workers=1 must not spawn a pool and must match campaign()."""
+        result = run_parallel_campaign(
+            100, seed=11, injector=injector, workers=1,
+        )
+        assert result.counts == injector.campaign(100, seed=11).counts
+        assert result.workers == 1
+        assert not result.degraded
+
+    def test_min_runs_respected(self):
+        injector = FaultInjector(build_constant_output_module())
+        result = run_parallel_campaign(
+            1000, seed=1, injector=injector,
+            ci_halfwidth=0.5, round_size=50, min_runs=300,
+        )
+        # Interval is tight immediately, but the floor holds it open.
+        assert result.total >= 300
+
+
+class TestConcurrencyRegression:
+    """Two concurrent chunks over the same Module must not interfere.
+
+    The engine keeps all per-run state in per-run ``_State``/frames and
+    the module/layout stay immutable after finalize; these tests pin
+    that, since fork-based workers and interleaved chunks silently
+    corrupt counts if any run state leaks into shared objects.
+    """
+
+    def test_interleaved_injectors_match_isolated_runs(self):
+        module = cached_module("pathfinder")
+        a = FaultInjector(module)
+        b = FaultInjector(module)
+        interleaved_a = CampaignResult()
+        interleaved_b = CampaignResult()
+        for start in range(0, 40, 10):
+            interleaved_a = interleaved_a.merge(a.run_span(start, 10, 21))
+            interleaved_b = interleaved_b.merge(b.run_span(start, 10, 22))
+        assert interleaved_a.counts == \
+            FaultInjector(module).campaign(40, seed=21).counts
+        assert interleaved_b.counts == \
+            FaultInjector(module).campaign(40, seed=22).counts
+
+    def test_campaign_leaves_engine_state_clean(self, injector):
+        golden_before = injector.engine.run()
+        injector.campaign(50, seed=13)
+        golden_after = injector.engine.run()
+        assert golden_after.outcome == golden_before.outcome
+        assert golden_after.outputs == golden_before.outputs
+        assert golden_after.dynamic_count == golden_before.dynamic_count
+
+    def test_shared_engine_injectors_agree(self):
+        module = cached_module("pathfinder")
+        shared = FaultInjector(module)
+        borrowing = FaultInjector(module, shared.engine)
+        assert borrowing.campaign(40, seed=5).counts == \
+            shared.campaign(40, seed=5).counts
 
 
 class TestCampaignResult:
