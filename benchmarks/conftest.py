@@ -11,9 +11,13 @@ set the environment variables below for a fuller (slower) run:
     REPRO_FI_WORKERS=4          worker processes for FI campaigns
     REPRO_FI_CI_HALFWIDTH=0.01  stop campaigns at this Wilson 95% CI
                                 half-width on the SDC probability
+    REPRO_CACHE_DIR=.repro-cache
+                                artifact-cache root (CI restores this
+                                across runs); unset = .repro-cache/
 
 Campaign counts are bit-identical for any REPRO_FI_WORKERS value;
-REPRO_FI_CI_HALFWIDTH trades sample count for wall-clock.
+REPRO_FI_CI_HALFWIDTH trades sample count for wall-clock, and a warm
+artifact cache replays profiles/campaigns/model results bit-identically.
 
 Rendered reports are printed (visible with ``-s``) and written to
 ``benchmarks/results/``.
@@ -28,9 +32,17 @@ from pathlib import Path
 import pytest
 
 from repro.bench import BENCHMARK_NAMES
+from repro.cache import configure_cache
 from repro.harness import ExperimentConfig, Workspace
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _artifact_cache():
+    """Honor $REPRO_CACHE_DIR explicitly (CI restores that directory
+    between runs, so warm reruns replay cached artifacts)."""
+    configure_cache(os.environ.get("REPRO_CACHE_DIR"))
 
 
 def _int_env(name: str, default: int) -> int:

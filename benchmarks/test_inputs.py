@@ -2,7 +2,6 @@
 SDC probabilities move across program inputs; TRIDENT, rebuilt per
 input, must track the per-input values."""
 
-import os
 
 from conftest import harness_config, publish
 

@@ -16,7 +16,6 @@ def test_table2(benchmark, workspace):
         run_table2, args=(workspace,), iterations=1, rounds=1,
     )
     publish("table2", result.render())
-    n = len(result.rows)
     assert result.rejections["trident"] <= result.rejections["fs+fc"]
     for row in result.rows:
         for p_value in row.p_values.values():

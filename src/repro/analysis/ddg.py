@@ -25,7 +25,6 @@ from ..ir.instructions import (
     Call,
     Detect,
     Instruction,
-    Load,
     Output,
     Ret,
     Store,

@@ -24,6 +24,9 @@ class VulnerabilityModel:
         self.profile = profile
         self.config = config or trident_config()
         self._cache: dict[int, float] = {}
+        #: Optional persistence hook (repro.cache.bind_model_results).
+        self.result_sink = None
+        self._flushed_results = 0
         self.eligible: list[int] = []
         self._weights: list[int] = []
         for inst in module.instructions():
@@ -49,23 +52,42 @@ class VulnerabilityModel:
             self._cache[iid] = cached
         return cached
 
+    def warm_cache(self, results: dict[int, float]) -> int:
+        """Adopt fingerprint-keyed results (see Trident.warm_cache)."""
+        self._cache.update(results)
+        self._flushed_results = len(self._cache)
+        return len(results)
+
+    def cached_results(self) -> dict[int, float]:
+        return dict(self._cache)
+
+    def _flush_results(self) -> None:
+        if (self.result_sink is not None
+                and len(self._cache) > self._flushed_results):
+            self.result_sink(dict(self._cache))
+            self._flushed_results = len(self._cache)
+
     def overall(self, samples: int = 3000, seed: int = 0) -> float:
         if not self.eligible:
             return 0.0
         rng = random.Random(seed)
         picks = rng.choices(self.eligible, weights=self._weights, k=samples)
-        return sum(
+        result = sum(
             self.instruction_vulnerability(iid) for iid in picks
         ) / samples
+        self._flush_results()
+        return result
 
     def overall_exact(self) -> float:
         if not self.eligible:
             return 0.0
         total = sum(self._weights)
-        return sum(
+        result = sum(
             w * self.instruction_vulnerability(iid)
             for iid, w in zip(self.eligible, self._weights)
         ) / total
+        self._flush_results()
+        return result
 
     # -- helper shared by both baselines -----------------------------------
 

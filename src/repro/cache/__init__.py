@@ -1,0 +1,47 @@
+"""Content-addressed artifact cache (in-memory analyses + disk layer).
+
+The cache never recomputes an artifact whose inputs haven't changed:
+everything is keyed on the SHA-256 of the module's canonical printed IR
+plus the scalar knobs that influenced the artifact, so "same key" means
+"bit-identical result" and a warm run is provably equivalent to a cold
+one (locked by the differential tests in ``tests/cache/``).
+"""
+
+from .artifacts import (
+    GoldenSummary,
+    bind_model_results,
+    campaign_key,
+    golden_key,
+    load_cached_profile,
+    load_golden_summary,
+    load_model_results,
+    model_key,
+    model_results_key,
+    profile_digest,
+    profile_key,
+    store_cached_profile,
+    store_golden_summary,
+    store_model_results,
+)
+from .disk import (
+    CACHE_DIR_ENV,
+    ArtifactCache,
+    CacheStats,
+    DEFAULT_CACHE_DIR,
+    configure_cache,
+    get_cache,
+    resolve_cache_dir,
+)
+from .fingerprint import combine_key, config_digest, module_fingerprint
+from .manager import AnalysisManager, analysis_manager_for
+
+__all__ = [
+    "AnalysisManager", "ArtifactCache", "CACHE_DIR_ENV", "CacheStats",
+    "DEFAULT_CACHE_DIR", "GoldenSummary", "analysis_manager_for",
+    "bind_model_results", "campaign_key", "combine_key", "config_digest",
+    "configure_cache", "get_cache", "golden_key", "load_cached_profile",
+    "load_golden_summary", "load_model_results", "model_key",
+    "model_results_key", "module_fingerprint", "profile_digest",
+    "profile_key", "resolve_cache_dir", "store_cached_profile",
+    "store_golden_summary", "store_model_results",
+]

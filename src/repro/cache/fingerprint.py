@@ -1,0 +1,63 @@
+"""Stable content fingerprints for modules, configs and profiles.
+
+Every artifact the cache stores (profile, golden run, model results,
+campaign counts) is a deterministic function of a finalized module plus
+a handful of scalar knobs.  The module's canonical textual IR
+(:func:`repro.ir.printer.print_module`) already round-trips through the
+parser, so its SHA-256 is a faithful content address: two modules with
+the same fingerprint execute identically, and any semantic change —
+different benchmark scale, an optimization pass, a protection transform
+— changes the printed form and therefore the key.
+
+Fingerprints are memoized per ``(module, revision)``: re-finalizing a
+module bumps its revision, so a mutated-and-finalized module never
+reuses a stale hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from weakref import WeakKeyDictionary
+
+from ..ir.module import Module
+from ..ir.printer import print_module
+
+#: module -> (revision, fingerprint)
+_FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def module_fingerprint(module: Module) -> str:
+    """SHA-256 of the module's canonical printed IR (requires finalize)."""
+    revision = getattr(module, "revision", 0)
+    cached = _FINGERPRINTS.get(module)
+    if cached is not None and cached[0] == revision:
+        return cached[1]
+    fingerprint = _sha256(print_module(module))
+    _FINGERPRINTS[module] = (revision, fingerprint)
+    return fingerprint
+
+
+def config_digest(config) -> str:
+    """Digest of a (frozen dataclass) configuration object."""
+    if is_dataclass(config):
+        payload = asdict(config)
+    elif isinstance(config, dict):
+        payload = config
+    else:
+        raise TypeError(f"cannot digest configuration {config!r}")
+    return _sha256(json.dumps(payload, sort_keys=True, default=repr))
+
+
+def combine_key(*parts) -> str:
+    """One content key from heterogeneous parts (order-sensitive).
+
+    ``None`` is kept distinct from ``0``/``""`` so optional knobs
+    (e.g. an unset CI half-width) never collide with explicit values.
+    """
+    return _sha256(json.dumps([repr(p) for p in parts]))

@@ -1,0 +1,125 @@
+"""In-memory analysis cache shared by every consumer of one module.
+
+Building TRIDENT plus its two ablations (fig5) or the PVF/ePVF
+baselines (fig9) over the same module used to recompute control
+dependence, loop info and post-dominators once *per model*; the fc and
+divergence-weighting sub-models each kept private per-function caches.
+:class:`AnalysisManager` hoists those analyses to one per-module cache
+keyed on the module fingerprint: every model built over the module
+shares them, and a module that is mutated and re-finalized (protection
+transforms, optimization passes do this in place on fresh modules, but
+user code may rebuild) invalidates the whole set at once.
+
+Invalidation is two-level: the cheap check is the module's finalize
+``revision``; only when the revision moved is the canonical-IR
+fingerprint recomputed, and only when *that* changed are cached
+analyses discarded (a no-op re-finalize keeps them).
+"""
+
+from __future__ import annotations
+
+from weakref import WeakKeyDictionary
+
+from ..analysis.cfg import predecessor_map, reverse_postorder
+from ..analysis.controldep import ControlDependence
+from ..analysis.dominators import compute_dominators, compute_postdominators
+from ..analysis.loops import LoopInfo
+from ..ir.function import Function
+from ..ir.module import Module
+from .fingerprint import module_fingerprint
+
+
+class AnalysisManager:
+    """Per-module, fingerprint-invalidated cache of function analyses."""
+
+    #: kind name -> constructor(function) -> analysis object
+    ANALYSES = {
+        "control_dependence": ControlDependence,
+        "loop_info": LoopInfo,
+        "dominators": compute_dominators,
+        "postdominators": compute_postdominators,
+        "predecessors": predecessor_map,
+        "reverse_postorder": reverse_postorder,
+    }
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._revision = module.revision
+        self._fingerprint = module_fingerprint(module)
+        #: (kind, function name) -> analysis object
+        self._results: dict[tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Current module fingerprint (checks for invalidation first)."""
+        self._check()
+        return self._fingerprint
+
+    def get(self, kind: str, function: Function):
+        """The cached analysis of one kind for one function."""
+        try:
+            build = self.ANALYSES[kind]
+        except KeyError:
+            raise KeyError(
+                f"unknown analysis {kind!r}; "
+                f"available: {tuple(self.ANALYSES)}"
+            ) from None
+        self._check()
+        slot = (kind, function.name)
+        cached = self._results.get(slot)
+        if cached is None:
+            cached = build(function)
+            self._results[slot] = cached
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    # Named accessors for the common consumers.
+
+    def control_dependence(self, function: Function) -> ControlDependence:
+        return self.get("control_dependence", function)
+
+    def loop_info(self, function: Function) -> LoopInfo:
+        return self.get("loop_info", function)
+
+    def dominators(self, function: Function) -> dict:
+        return self.get("dominators", function)
+
+    def postdominators(self, function: Function) -> dict:
+        return self.get("postdominators", function)
+
+    def invalidate(self) -> None:
+        """Drop every cached analysis (manual override)."""
+        if self._results:
+            self.invalidations += 1
+        self._results.clear()
+
+    # ------------------------------------------------------------------
+
+    def _check(self) -> None:
+        if self.module.revision == self._revision:
+            return
+        self._revision = self.module.revision
+        fingerprint = module_fingerprint(self.module)
+        if fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            self.invalidate()
+
+
+#: module -> its AnalysisManager (dies with the module).
+_MANAGERS: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def analysis_manager_for(module: Module) -> AnalysisManager:
+    """The shared per-module manager (one per live Module object)."""
+    manager = _MANAGERS.get(module)
+    if manager is None:
+        manager = AnalysisManager(module)
+        _MANAGERS[module] = manager
+    return manager

@@ -12,15 +12,24 @@ import argparse
 import sys
 
 from .bench.registry import BENCHMARK_NAMES, all_benchmarks, build_module
+from .cache import (
+    bind_model_results,
+    configure_cache,
+    get_cache,
+    load_cached_profile,
+    module_fingerprint,
+    profile_key,
+    store_cached_profile,
+)
 from .core.simple_models import MODEL_NAMES, build_model
-from .core.trident import Trident
-from .fi.campaign import CampaignResult, FaultInjector, OUTCOMES
-from .fi.parallel import ModuleSpec, run_parallel_campaign
+from .fi.campaign import CampaignResult, OUTCOMES
+from .fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
-from .interp.engine import ExecutionEngine
+from .ir.module import Module
 from .ir.printer import format_instruction, print_module
 from .opt.pipeline import optimize
+from .profiling.profile import ProgramProfile
 from .profiling.profiler import ProfilingInterpreter
 from .protection.evaluate import evaluate_protection
 from .report.resilience import generate_report
@@ -31,9 +40,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TRIDENT reproduction: soft-error propagation modeling",
     )
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache root (default: $REPRO_CACHE_DIR "
+                             "or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed artifact cache")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list the Table I benchmarks")
+
+    fingerprint = commands.add_parser(
+        "fingerprint",
+        help="print content fingerprints of benchmark modules "
+             "(CI uses these as cache keys)",
+    )
+    fingerprint.add_argument("benchmark", nargs="?", default=None,
+                             help="one benchmark (default: all)")
+    fingerprint.add_argument("--scale", default="default",
+                             choices=("test", "small", "default", "large"))
 
     show = commands.add_parser("show", help="print a benchmark's IR")
     _add_benchmark_args(show)
@@ -116,8 +140,10 @@ def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
 
 def main(argv=None, out=sys.stdout) -> int:
     args = build_argument_parser().parse_args(argv)
+    configure_cache(args.cache_dir, enabled=not args.no_cache)
     handler = {
         "list": _cmd_list,
+        "fingerprint": _cmd_fingerprint,
         "show": _cmd_show,
         "analyze": _cmd_analyze,
         "inject": _cmd_inject,
@@ -128,6 +154,24 @@ def main(argv=None, out=sys.stdout) -> int:
     return handler(args, out)
 
 
+def _profile_for(module: Module) -> ProgramProfile:
+    """Profile a module through the artifact cache (hit = no re-run)."""
+    cache = get_cache()
+    key = profile_key(module_fingerprint(module))
+    cached = load_cached_profile(cache, key)
+    if cached is not None:
+        return cached
+    profile, outputs = ProfilingInterpreter(module).run()
+    store_cached_profile(cache, key, profile, outputs)
+    return profile
+
+
+def _print_cache_summary(out) -> None:
+    cache = get_cache()
+    if cache.enabled:
+        print(cache.stats.summary(), file=out)
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -135,6 +179,23 @@ def _cmd_list(_args, out) -> int:
     print(f"{'name':14s} {'suite':32s} {'area':34s}", file=out)
     for spec in all_benchmarks():
         print(f"{spec.name:14s} {spec.suite:32s} {spec.area:34s}", file=out)
+    return 0
+
+
+def _cmd_fingerprint(args, out) -> int:
+    """Stable content addresses, one per line: ``<sha256>  <name>``.
+
+    CI keys its restored ``.repro-cache/`` on this output, so the cache
+    is invalidated exactly when some module's canonical IR changes.
+    """
+    names = (args.benchmark,) if args.benchmark else BENCHMARK_NAMES
+    if args.benchmark and args.benchmark not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {args.benchmark!r}; "
+              f"available: {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        module = build_module(name, args.scale)
+        print(f"{module_fingerprint(module)}  {name}", file=out)
     return 0
 
 
@@ -152,8 +213,9 @@ def _cmd_analyze(args, out) -> int:
               f"{opt_report.before_instructions} -> "
               f"{opt_report.after_instructions} static instructions "
               f"({opt_report.slots_promoted} slots promoted)", file=out)
-    profile, _outputs = ProfilingInterpreter(module).run()
+    profile = _profile_for(module)
     model = build_model(args.model, module, profile)
+    bind_model_results(get_cache(), model, args.model)
     overall = model.overall_sdc(samples=args.samples)
     print(f"program: {module.name} ({module.num_instructions} static, "
           f"{profile.dynamic_count} dynamic instructions)", file=out)
@@ -168,6 +230,7 @@ def _cmd_analyze(args, out) -> int:
         inst = module.instruction(iid)
         print(f"  {sdc_map[iid] * 100:6.2f}%  {format_instruction(inst)}",
               file=out)
+    _print_cache_summary(out)
     return 0
 
 
@@ -175,9 +238,11 @@ def _run_campaign(args, runs: int) -> CampaignResult:
     spec = ModuleSpec.from_benchmark(
         args.benchmark, args.scale, args.input_seed
     )
-    return run_parallel_campaign(
+    return run_cached_campaign(
         runs, seed=args.seed, spec=spec,
-        workers=args.workers, ci_halfwidth=args.ci_halfwidth,
+        settings=CampaignSettings(
+            workers=max(1, args.workers), ci_halfwidth=args.ci_halfwidth,
+        ),
     )
 
 
@@ -188,11 +253,17 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
                    f"CI target met)")
     print(f"runs executed: {campaign.total}/{campaign.runs_requested}"
           f"{stopped}", file=out)
-    workers = f"{campaign.workers} worker{'s' if campaign.workers != 1 else ''}"
-    if campaign.degraded:
-        workers += " (pool degraded to serial)"
-    print(f"wall clock: {campaign.wall_seconds:.2f} s on {workers} "
-          f"({campaign.cpu_seconds:.2f} CPU s)", file=out)
+    if campaign.from_cache:
+        print(f"replayed from the artifact cache "
+              f"({campaign.cpu_seconds:.2f} CPU s saved)", file=out)
+    else:
+        workers = (f"{campaign.workers} "
+                   f"worker{'s' if campaign.workers != 1 else ''}")
+        if campaign.degraded:
+            workers += " (pool degraded to serial)"
+        print(f"wall clock: {campaign.wall_seconds:.2f} s on {workers} "
+              f"({campaign.cpu_seconds:.2f} CPU s)", file=out)
+    _print_cache_summary(out)
 
 
 def _cmd_inject(args, out) -> int:
@@ -210,7 +281,7 @@ def _cmd_inject(args, out) -> int:
 
 def _cmd_protect(args, out) -> int:
     module = build_module(args.benchmark, args.scale, args.input_seed)
-    profile, _outputs = ProfilingInterpreter(module).run()
+    profile = _profile_for(module)
     outcome = evaluate_protection(
         module, profile, args.model, args.budget, fi_samples=args.runs
     )
@@ -224,18 +295,20 @@ def _cmd_protect(args, out) -> int:
     print(f"SDC reduction:          {outcome.sdc_reduction:.0%}", file=out)
     print(f"faults detected:        "
           f"{outcome.protected.detected_probability:.2%}", file=out)
+    _print_cache_summary(out)
     return 0
 
 
 def _cmd_report(args, out) -> int:
     module = build_module(args.benchmark, args.scale, args.input_seed)
-    profile, _outputs = ProfilingInterpreter(module).run()
+    profile = _profile_for(module)
     fi = _run_campaign(args, args.fi_runs) if args.fi_runs > 0 else None
     report = generate_report(
         module, profile, target_sdc=args.target,
         overhead_budget=args.budget, fi=fi,
     )
     print(report.render(), file=out)
+    _print_cache_summary(out)
     return 0
 
 
@@ -253,6 +326,7 @@ def _cmd_experiment(args, out) -> int:
         result = run_experiment(name, workspace)
         print(result.render(), file=out)
         print(file=out)
+    _print_cache_summary(out)
     return 0
 
 

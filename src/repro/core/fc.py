@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..analysis.controldep import ControlDependence
 from ..analysis.loops import LoopInfo
+from ..cache.manager import analysis_manager_for
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Branch, Store
@@ -33,7 +34,10 @@ class ControlFlowSubModel:
         self.module = module
         self.profile = profile
         self.config = config
-        self._function_info: dict[str, tuple[ControlDependence, LoopInfo]] = {}
+        # Control dependence and loop info come from the module's shared
+        # AnalysisManager, so every model built over this module (the
+        # fig5 ablations, the fig9 baselines) reuses one computation.
+        self._analyses = analysis_manager_for(module)
         self._cache: dict[int, list[tuple[Store, float]]] = {}
 
     # ------------------------------------------------------------------
@@ -57,12 +61,11 @@ class ControlFlowSubModel:
 
     # ------------------------------------------------------------------
 
-    def _info(self, function: Function):
-        info = self._function_info.get(function.name)
-        if info is None:
-            info = (ControlDependence(function), LoopInfo(function))
-            self._function_info[function.name] = info
-        return info
+    def _info(self, function: Function) -> tuple[ControlDependence, LoopInfo]:
+        return (
+            self._analyses.control_dependence(function),
+            self._analyses.loop_info(function),
+        )
 
     def _compute(self, branch: Branch) -> list[tuple[Store, float]]:
         branch_count = self.profile.count(branch.iid)

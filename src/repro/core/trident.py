@@ -60,6 +60,11 @@ class Trident:
             self.weigher,
         )
         self._sdc_cache: dict[int, float] = {}
+        #: Optional persistence hook (see repro.cache.bind_model_results):
+        #: called with the full per-instruction result map when a bulk
+        #: prediction finishes and new results were computed.
+        self.result_sink = None
+        self._flushed_results = 0
         #: Cumulative wall-clock seconds spent in inference.
         self.inference_seconds = 0.0
         # Injection-eligible instructions (same definition as the fault
@@ -87,6 +92,32 @@ class Trident:
             module, sample_cap=sample_cap, seed=seed
         ).run()
         return cls(module, profile, config)
+
+    # ------------------------------------------------------------------
+    # Result-cache plumbing (content-addressed warm starts)
+    # ------------------------------------------------------------------
+
+    def warm_cache(self, results: dict[int, float]) -> int:
+        """Adopt previously computed per-instruction SDC results.
+
+        Only callers that key the mapping on the module fingerprint,
+        the model config and the profile digest (repro.cache) may warm
+        a model — under those keys the cached values are bit-identical
+        to what :meth:`instruction_sdc` would compute.
+        """
+        self._sdc_cache.update(results)
+        self._flushed_results = len(self._sdc_cache)
+        return len(results)
+
+    def cached_results(self) -> dict[int, float]:
+        """Snapshot of every per-instruction result computed so far."""
+        return dict(self._sdc_cache)
+
+    def _flush_results(self) -> None:
+        if (self.result_sink is not None
+                and len(self._sdc_cache) > self._flushed_results):
+            self.result_sink(dict(self._sdc_cache))
+            self._flushed_results = len(self._sdc_cache)
 
     # ------------------------------------------------------------------
     # Per-instruction prediction
@@ -167,7 +198,9 @@ class Trident:
             return 0.0
         rng = random.Random(seed)
         picks = rng.choices(self.eligible, weights=self._weights, k=samples)
-        return sum(self.instruction_sdc(iid) for iid in picks) / samples
+        result = sum(self.instruction_sdc(iid) for iid in picks) / samples
+        self._flush_results()
+        return result
 
     def overall_sdc_exact(self) -> float:
         """Exact execution-count-weighted average over all instructions."""
@@ -177,13 +210,16 @@ class Trident:
         acc = 0.0
         for iid, weight in zip(self.eligible, self._weights):
             acc += weight * self.instruction_sdc(iid)
+        self._flush_results()
         return acc / total_weight
 
     def sdc_map(self, iids=None) -> dict[int, float]:
         """Per-instruction SDC probabilities (default: all eligible)."""
         if iids is None:
             iids = self.eligible
-        return {iid: self.instruction_sdc(iid) for iid in iids}
+        result = {iid: self.instruction_sdc(iid) for iid in iids}
+        self._flush_results()
+        return result
 
     # ------------------------------------------------------------------
     # Crash prediction (extension beyond the paper)

@@ -19,19 +19,19 @@ the profiled count ratio applies.
 
 from __future__ import annotations
 
-from ..analysis.dominators import compute_postdominators
+from ..cache.manager import analysis_manager_for
 from ..ir.instructions import Instruction
 from ..ir.module import Module
 from ..profiling.profile import ProgramProfile
 
 
 class ExecutionWeigher:
-    """Caches per-function post-dominator sets for divergence weighting."""
+    """Divergence weighting over the module's shared post-dominator sets."""
 
     def __init__(self, module: Module, profile: ProgramProfile):
         self.module = module
         self.profile = profile
-        self._postdoms: dict[str, dict] = {}
+        self._analyses = analysis_manager_for(module)
 
     def weight(self, origin: Instruction, terminal: Instruction) -> float:
         """P(terminal executes | origin executed), in [0, 1]."""
@@ -44,8 +44,4 @@ class ExecutionWeigher:
         return self.profile.execution_probability(terminal.iid, origin.iid)
 
     def _postdoms_of(self, function) -> dict:
-        cached = self._postdoms.get(function.name)
-        if cached is None:
-            cached = compute_postdominators(function)
-            self._postdoms[function.name] = cached
-        return cached
+        return self._analyses.postdominators(function)

@@ -14,6 +14,8 @@ from .parallel import (
     CampaignSettings,
     ModuleSpec,
     ParallelCampaign,
+    materialize_injector,
+    run_cached_campaign,
     run_parallel_campaign,
 )
 from .seeds import rng_for, seed_for
@@ -21,5 +23,6 @@ from .seeds import rng_for, seed_for
 __all__ = [
     "BENIGN", "CAUGHT", "CRASHED", "CampaignResult", "CampaignSettings",
     "FaultInjector", "HUNG", "ModuleSpec", "OUTCOMES", "ParallelCampaign",
-    "SDC", "rng_for", "run_parallel_campaign", "seed_for",
+    "SDC", "materialize_injector", "rng_for", "run_cached_campaign",
+    "run_parallel_campaign", "seed_for",
 ]

@@ -16,7 +16,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..interp.engine import ExecutionEngine, Injection
-from ..interp.result import CRASH, DETECTED, HANG, OK
+from ..interp.result import CRASH, DETECTED, HANG
 from ..ir.module import Module
 from .seeds import rng_for, seed_for
 
@@ -55,6 +55,9 @@ class CampaignResult:
     #: True when a parallel campaign lost its worker pool and fell back
     #: to in-process serial execution (no counts are ever lost).
     degraded: bool = False
+    #: True when the result was served from the artifact cache instead
+    #: of being executed (counts are bit-identical either way).
+    from_cache: bool = False
 
     @property
     def total(self) -> int:
@@ -98,15 +101,54 @@ class CampaignResult:
         merged.cpu_seconds = self.cpu_seconds + other.cpu_seconds
         return merged
 
+    # -- artifact-cache serialization ----------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the artifact cache (see repro.cache)."""
+        return {
+            "counts": dict(self.counts),
+            "cpu_seconds": self.cpu_seconds,
+            "runs_requested": self.runs_requested,
+            "stopped_early": self.stopped_early,
+            "rounds": self.rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        """Rebuild a cached campaign; marks the result ``from_cache``.
+
+        Wall-clock and worker metadata describe the run that *produced*
+        the counts, not the cache read, so they reset to the trivial
+        values of a zero-cost replay.
+        """
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for outcome, n in data["counts"].items():
+            if outcome not in counts:
+                raise ValueError(f"unknown campaign outcome {outcome!r}")
+            counts[outcome] = int(n)
+        result = cls(
+            counts=counts,
+            cpu_seconds=float(data["cpu_seconds"]),
+            runs_requested=int(data["runs_requested"]),
+            stopped_early=bool(data["stopped_early"]),
+            rounds=int(data["rounds"]),
+        )
+        result.from_cache = True
+        return result
+
 
 class FaultInjector:
     """Runs statistical and per-instruction FI campaigns on one module."""
 
     def __init__(self, module: Module, engine: ExecutionEngine | None = None,
-                 hang_multiplier: int = 10):
+                 hang_multiplier: int = 10, golden=None):
         self.module = module
         self.engine = engine or ExecutionEngine(module)
-        self.golden = self.engine.golden()
+        # ``golden`` may be a cached GoldenSummary (see repro.cache),
+        # skipping the fault-free reference execution entirely — the
+        # main per-worker saving when a campaign re-materializes the
+        # module in a fresh process.
+        self.golden = golden if golden is not None else self.engine.golden()
         self._golden_outputs = self.golden.outputs
         counts = self.golden.instruction_counts()
         # Eligible targets: executed instructions with a destination

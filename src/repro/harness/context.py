@@ -8,14 +8,26 @@ knobs so scaled-down CI runs and full evaluation runs share code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from ..bench.registry import BENCHMARK_NAMES, build_module, get_benchmark
+from ..cache import (
+    GoldenSummary,
+    bind_model_results,
+    get_cache,
+    golden_key,
+    load_cached_profile,
+    load_golden_summary,
+    module_fingerprint,
+    profile_key,
+    store_cached_profile,
+    store_golden_summary,
+)
 from ..core.simple_models import build_model
 from ..core.trident import Trident
 from ..fi.campaign import CampaignResult, FaultInjector
-from ..fi.parallel import ModuleSpec, run_parallel_campaign
+from ..fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
 from ..interp.engine import ExecutionEngine
 from ..ir.module import Module
 from ..profiling.profile import ProgramProfile
@@ -68,13 +80,35 @@ class BenchmarkContext:
         return build_module(self.name, self.config.scale)
 
     @cached_property
+    def fingerprint(self) -> str:
+        """Content address of the module (canonical-IR SHA-256)."""
+        return module_fingerprint(self.module)
+
+    @cached_property
     def profile(self) -> ProgramProfile:
+        """The profile, warm-started from the artifact cache.
+
+        A hit skips the instrumented profiling run entirely; a miss
+        profiles, cross-checks the outputs against the engine's golden
+        run as before, then persists both the profile and the golden
+        summary under the module fingerprint for every later run —
+        including campaign workers in other processes.
+        """
+        cache = get_cache()
+        key = profile_key(self.fingerprint)
+        cached = load_cached_profile(cache, key)
+        if cached is not None:
+            return cached
         profile, outputs = ProfilingInterpreter(self.module).run()
         golden = self.engine.golden()
         if outputs != golden.outputs:
             raise RuntimeError(
                 f"{self.name}: profiler and engine disagree on outputs"
             )
+        store_cached_profile(cache, key, profile, outputs)
+        gkey = golden_key(self.fingerprint)
+        if load_golden_summary(cache, gkey) is None:
+            store_golden_summary(cache, gkey, GoldenSummary.from_run(golden))
         return profile
 
     @cached_property
@@ -83,32 +117,47 @@ class BenchmarkContext:
 
     @cached_property
     def injector(self) -> FaultInjector:
-        return FaultInjector(self.module, self.engine)
+        golden = load_golden_summary(get_cache(), golden_key(self.fingerprint))
+        return FaultInjector(self.module, self.engine, golden=golden)
 
-    def model(self, name: str) -> Trident:
-        """A freshly-built model over the cached profile."""
-        return build_model(name, self.module, self.profile)
+    def model(self, name: str, warm: bool = True) -> Trident:
+        """A freshly-built model over the cached profile.
+
+        With ``warm`` (the default) the model's per-instruction results
+        are restored from — and persisted back to — the artifact cache;
+        fig6's timing sweeps pass ``warm=False`` to measure true cold
+        inference cost.
+        """
+        model = build_model(name, self.module, self.profile)
+        if warm:
+            bind_model_results(get_cache(), model, name)
+        return model
 
     def fi_campaign(self, runs: int | None = None,
                     seed: int | None = None) -> CampaignResult:
         """FI campaign honoring the config's worker/early-stop knobs.
 
         Identical counts to ``injector.campaign`` for any worker count;
-        with ``fi_ci_halfwidth`` set it may execute fewer runs.
+        with ``fi_ci_halfwidth`` set it may execute fewer runs.  Merged
+        counts are content-addressed in the artifact cache, so a rerun
+        with the same module/seed/stopping rule replays them instead of
+        re-injecting (and the key excludes the worker count whenever the
+        executed run set cannot depend on it).
         """
         config = self.config
         if runs is None:
             runs = config.fi_samples
         if seed is None:
             seed = config.seed
-        if config.fi_workers <= 1 and config.fi_ci_halfwidth is None:
-            return self.injector.campaign(runs, seed=seed)
-        return run_parallel_campaign(
-            runs, seed=seed,
+        return run_cached_campaign(
+            runs, seed,
             spec=ModuleSpec.from_benchmark(self.name, config.scale),
-            injector=self.injector,
-            workers=config.fi_workers,
-            ci_halfwidth=config.fi_ci_halfwidth,
+            injector=lambda: self.injector,  # only built on a cache miss
+            module=self.module,
+            settings=CampaignSettings(
+                workers=max(1, config.fi_workers),
+                ci_halfwidth=config.fi_ci_halfwidth,
+            ),
         )
 
 

@@ -111,7 +111,8 @@ def run_fig6(workspace: Workspace) -> Fig6Result:
     for n in SAMPLE_POINTS:
         total = 0.0
         for ctx in contexts:
-            model = ctx.model("trident")  # fresh: cold caches
+            # fresh and unwarmed: fig6 measures true cold inference cost
+            model = ctx.model("trident", warm=False)
             started = time.perf_counter()
             model.overall_sdc(samples=n, seed=config.seed)
             inference = time.perf_counter() - started
@@ -128,7 +129,7 @@ def run_fig6(workspace: Workspace) -> Fig6Result:
         total = 0.0
         for ctx in contexts:
             iids = ctx.injector.eligible_iids()[:count]
-            model = ctx.model("trident")
+            model = ctx.model("trident", warm=False)
             started = time.perf_counter()
             for iid in iids:
                 model.instruction_sdc(iid)

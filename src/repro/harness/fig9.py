@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines import EpvfModel, PvfModel
+from ..cache import bind_model_results, get_cache
 from ..stats import mean_absolute_error
 from .context import Workspace
 from .report import format_table, percent
@@ -57,12 +58,21 @@ def run_fig9(workspace: Workspace) -> Fig9Result:
             samples=config.model_samples, seed=config.seed
         )
         # Paper-faithful substitution: ePVF's crash model is replaced by
-        # the FI-measured crash probability (Sec. VII-C).
-        epvf = EpvfModel(
+        # the FI-measured crash probability (Sec. VII-C).  The measured
+        # probability is a model input from outside the config, so it
+        # joins the cache key as ``extra``.
+        epvf_model = EpvfModel(
             ctx.module, ctx.profile,
             measured_crash_probability=campaign.crash_probability,
-        ).overall(samples=config.model_samples, seed=config.seed)
-        pvf = PvfModel(ctx.module, ctx.profile).overall(
+        )
+        bind_model_results(get_cache(), epvf_model, "epvf",
+                           extra=campaign.crash_probability)
+        epvf = epvf_model.overall(
+            samples=config.model_samples, seed=config.seed
+        )
+        pvf_model = PvfModel(ctx.module, ctx.profile)
+        bind_model_results(get_cache(), pvf_model, "pvf")
+        pvf = pvf_model.overall(
             samples=config.model_samples, seed=config.seed
         )
         rows.append(Fig9Row(

@@ -36,7 +36,6 @@ from ..ir.instructions import (
     Store,
 )
 from ..ir.module import Module
-from ..ir.types import FloatType
 from ..ir.values import Argument, Constant, GlobalVariable, Value
 from .errors import (
     ArithmeticTrap,

@@ -15,7 +15,6 @@ from ..ir.bitutils import (
     mask,
     to_signed,
     truncate_float,
-    wrap_unsigned,
 )
 from ..ir.types import FloatType, IntType, PointerType, Type
 from .errors import ArithmeticTrap

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .instructions import Branch, Instruction, Ret
+from .instructions import Branch, Instruction
 
 
 class BasicBlock:

@@ -24,7 +24,7 @@ from .instructions import (
     Select,
     Store,
 )
-from .types import FloatType, IntType, Type, VOID
+from .types import Type, VOID
 from .values import Constant, Value
 
 

@@ -14,18 +14,15 @@ from .builder import IRBuilder
 from .function import Function
 from .module import Module
 from .types import (
-    F32,
     F64,
     FloatType,
     I1,
     I32,
-    I64,
     IntType,
-    PointerType,
     Type,
     VOID,
 )
-from .values import Constant, GlobalVariable, Value
+from .values import Constant, Value
 
 
 class Expr:

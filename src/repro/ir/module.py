@@ -22,6 +22,9 @@ class Module:
         self.globals: dict[str, GlobalVariable] = {}
         self._instructions_by_iid: list[Instruction] = []
         self._finalized = False
+        #: Bumped by every finalize(); caches keyed on module content use
+        #: it to notice mutation-then-refinalize cheaply.
+        self.revision = 0
 
     # -- construction --------------------------------------------------------
 
@@ -84,6 +87,7 @@ class Module:
                 self._instructions_by_iid.append(instruction)
                 next_iid += 1
         self._finalized = True
+        self.revision += 1
         if verify:
             from .verifier import verify_module
             verify_module(self)

@@ -33,7 +33,7 @@ from .instructions import (
     Store,
 )
 from .module import Module
-from .types import IntType, PointerType, Type, VOID, parse_type
+from .types import PointerType, Type, parse_type
 from .values import Constant, Value
 
 

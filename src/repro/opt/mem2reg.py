@@ -49,8 +49,6 @@ def _dominance_frontiers(function: Function, idom):
         block: set() for block in function.blocks
     }
     for block in function.blocks:
-        block_preds = [p for p in preds[block] if idom.get(p) is not None
-                       or p is function.entry]
         if len(preds[block]) < 2:
             continue
         for pred in preds[block]:

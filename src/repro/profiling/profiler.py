@@ -47,7 +47,6 @@ from ..ir.instructions import (
     ICmp,
     Load,
     Output,
-    Phi,
     Ret,
     Select,
     Store,

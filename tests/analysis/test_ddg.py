@@ -9,12 +9,11 @@ from repro.analysis import (
     sequence_of,
 )
 from repro.ir import (
-    F64,
     FunctionBuilder,
     I32,
     Module,
 )
-from repro.ir.instructions import BinOp, ICmp, Load, Output, Store
+from repro.ir.instructions import BinOp, ICmp, Load
 
 
 def build_fig2b_module() -> Module:
@@ -110,7 +109,6 @@ class TestSequences:
             f.out(v + 1)
         f.done()
         module.finalize()
-        one = next(iter(module.instructions()))
         enumerator = PathEnumerator(module, max_paths=5)
         const_users = module.instructions()[0]
         paths = enumerator.paths_from(const_users)

@@ -1,7 +1,5 @@
 """Dominators, post-dominators, and CFG utilities on hand-built CFGs."""
 
-import pytest
-
 from repro.analysis import (
     VIRTUAL_EXIT,
     compute_dominators,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import EpvfModel, PvfModel
 from repro.core import Trident
-from repro.ir import FunctionBuilder, I32, Module
+from repro.ir import FunctionBuilder, Module
 from repro.profiling import ProfilingInterpreter
 from tests.conftest import cached_module, cached_profile
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.bench import (
     BENCHMARK_NAMES,
-    SCALES,
     all_benchmarks,
     build_module,
     get_benchmark,
@@ -136,7 +135,7 @@ class TestKnownResults:
         assert total > 0
 
     def test_bfs_variants_agree_on_reachability(self):
-        rodinia = ExecutionEngine(cached_module("bfs_rodinia")).golden()
+        ExecutionEngine(cached_module("bfs_rodinia")).golden()
         parboil = ExecutionEngine(cached_module("bfs_parboil")).golden()
         # Different graphs/seeds — but both must visit all nodes.
         assert int(parboil.outputs[2]) == 16  # queue tail == nodes

@@ -1,0 +1,26 @@
+"""Fixtures for the artifact-cache suite: a fresh cache per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ArtifactCache, configure_cache
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    """A standalone cache rooted in this test's temp dir."""
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def fresh_default_cache(tmp_path):
+    """Swap the process-wide cache for an empty per-test one.
+
+    Restores the session-wide hermetic cache afterwards (the autouse
+    fixture in the top-level conftest set $REPRO_CACHE_DIR, which
+    ``configure_cache(None)`` resolves).
+    """
+    cache = configure_cache(tmp_path / "default-cache")
+    yield cache
+    configure_cache(None)

@@ -1,0 +1,79 @@
+"""Module fingerprints: stable across rebuilds, sensitive to content."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_module
+from repro.cache import combine_key, config_digest, module_fingerprint
+from repro.core.config import trident_config
+from repro.ir.instructions import BinOp
+from tests.conftest import build_accumulator_module
+
+
+class TestModuleFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = build_accumulator_module()
+        b = build_accumulator_module()
+        assert a is not b
+        assert module_fingerprint(a) == module_fingerprint(b)
+
+    def test_benchmark_rebuild_is_stable(self):
+        a = build_module("pathfinder", "test")
+        b = build_module("pathfinder", "test")
+        assert module_fingerprint(a) == module_fingerprint(b)
+
+    def test_sensitive_to_content(self):
+        small = build_accumulator_module(8)
+        large = build_accumulator_module(16)
+        assert module_fingerprint(small) != module_fingerprint(large)
+
+    def test_sensitive_to_scale_and_benchmark(self):
+        fingerprints = {
+            module_fingerprint(build_module("pathfinder", "test")),
+            module_fingerprint(build_module("pathfinder", "small")),
+            module_fingerprint(build_module("hotspot", "test")),
+        }
+        assert len(fingerprints) == 3
+
+    def test_memo_does_not_go_stale_after_mutation(self):
+        module = build_accumulator_module()
+        before = module_fingerprint(module)
+        binop = next(
+            i for i in module.instructions()
+            if isinstance(i, BinOp) and i.op == "add"
+        )
+        binop.op = "sub"
+        module.finalize()
+        after = module_fingerprint(module)
+        assert after != before
+
+    def test_noop_refinalize_keeps_fingerprint(self):
+        module = build_accumulator_module()
+        before = module_fingerprint(module)
+        module.finalize()
+        assert module_fingerprint(module) == before
+
+
+class TestConfigDigest:
+    def test_dataclass_digest_is_stable(self):
+        assert config_digest(trident_config()) == \
+            config_digest(trident_config())
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert config_digest({"a": 1, "b": 2}) == \
+            config_digest({"b": 2, "a": 1})
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError):
+            config_digest(object())
+
+
+class TestCombineKey:
+    def test_none_is_distinct_from_zero_and_empty(self):
+        keys = {combine_key("k", None), combine_key("k", 0),
+                combine_key("k", "")}
+        assert len(keys) == 3
+
+    def test_order_sensitive(self):
+        assert combine_key("a", "b") != combine_key("b", "a")

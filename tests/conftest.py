@@ -2,12 +2,37 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench import BENCHMARK_NAMES, build_module
+from repro.cache import CACHE_DIR_ENV, configure_cache
 from repro.interp import ExecutionEngine
 from repro.ir import F64, FunctionBuilder, I32, Module
 from repro.profiling import ProfilingInterpreter
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp dir.
+
+    Keeps the suite hermetic by default: tests never read a stale
+    ``.repro-cache/`` from the working directory and never leave one
+    behind, while cache code paths (including worker processes, which
+    inherit the process global by fork) still run for real.  Setting
+    $REPRO_CACHE_DIR opts into a persistent cache — CI restores one
+    across runs (keys are content-addressed, so stale entries are
+    unreachable rather than wrong).
+    """
+    previous = os.environ.get(CACHE_DIR_ENV)
+    root = previous or str(tmp_path_factory.mktemp("repro-cache"))
+    os.environ[CACHE_DIR_ENV] = root
+    configure_cache(root)
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    configure_cache(None)
 
 
 def build_accumulator_module(n: int = 16) -> Module:

@@ -4,7 +4,7 @@ event-merged DAG semantics."""
 import pytest
 
 from repro.analysis import paths_from_instruction
-from repro.core import StaticSubModel, Trident, TupleDeriver, trident_config
+from repro.core import StaticSubModel, TupleDeriver, trident_config
 from repro.core.propagation import (
     EV_BRANCH,
     EV_OUTPUT,

@@ -3,10 +3,9 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core import TridentConfig, TupleDeriver, trident_config
-from repro.ir import F64, I32, I64, const_float, const_int
-from repro.ir.instructions import BinOp, Cast, ICmp, Load, Select, Store
-from repro.ir.values import Constant
+from repro.core import TupleDeriver, trident_config
+from repro.ir import I32, I64, const_float, const_int
+from repro.ir.instructions import BinOp, Cast, ICmp, Load, Select
 from repro.profiling import ProgramProfile
 
 
@@ -74,8 +73,6 @@ class TestCrashTuples:
         assert result.crash == pytest.approx(1 / 32)
 
     def test_load_address_tuple_uses_profiled_crash(self):
-        pointer = BinOp("add", const_int(0, I64), const_int(0, I64))
-        from repro.ir import pointer_to
         from repro.ir.instructions import Alloca
 
         slot = Alloca(I32, 1)

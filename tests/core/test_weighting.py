@@ -93,4 +93,4 @@ class TestExecutionWeigher:
             i for i in module.instructions() if isinstance(i, Output)
         )
         weigher.weight(add, output)
-        assert "main" in weigher._postdoms
+        assert ("postdominators", "main") in weigher._analyses._results

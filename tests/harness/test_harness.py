@@ -5,7 +5,6 @@ import pytest
 
 from repro.harness import (
     ExperimentConfig,
-    OVERHEAD_LEVELS,
     Workspace,
     run_experiment,
     run_fig5,

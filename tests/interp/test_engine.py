@@ -11,10 +11,8 @@ from repro.interp import (
     OK,
 )
 from repro.ir import (
-    F64,
     FunctionBuilder,
     I32,
-    IRBuilder,
     Module,
 )
 from repro.ir.instructions import BinOp, GetElementPtr, Load

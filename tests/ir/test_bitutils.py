@@ -19,7 +19,7 @@ from repro.ir.bitutils import (
     truncate_float,
     wrap_unsigned,
 )
-from repro.ir.types import F32, F64, I8, I32
+from repro.ir.types import F32, F64, I32
 
 
 class TestMaskAndWrap:

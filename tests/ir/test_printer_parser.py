@@ -8,7 +8,7 @@ from repro.ir import (
     parse_module,
     print_module,
 )
-from tests.conftest import build_accumulator_module, cached_module
+from tests.conftest import cached_module
 
 
 class TestRoundTrip:

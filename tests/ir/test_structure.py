@@ -7,7 +7,6 @@ from repro.ir import (
     I32,
     IRBuilder,
     Module,
-    VOID,
     const_int,
 )
 from repro.ir.instructions import Ret

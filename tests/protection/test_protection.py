@@ -3,11 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.fi import FaultInjector
 from repro.interp import ExecutionEngine
-from repro.ir import FunctionBuilder, I32, Module
 from repro.ir.instructions import Detect
-from repro.profiling import ProfilingInterpreter
 from repro.protection import (
     KnapsackItem,
     clone_module,
@@ -142,8 +139,7 @@ class TestDuplication:
         )
         protected, _report = duplicate_instructions(module, [hot])
         engine = ExecutionEngine(protected)
-        golden = engine.golden()
-        counts = golden.instruction_counts()
+        engine.golden()  # warm the reference run used for classification
         # Locate the protected original in the new module: it is the
         # operand of the single Detect instruction.
         detect = next(
