@@ -11,7 +11,7 @@ Run:  python examples/custom_program.py
 """
 
 from repro import FaultInjector, Trident
-from repro.ir import F64, FunctionBuilder, I32, Module, print_module
+from repro.ir import F64, I32, FunctionBuilder, Module, print_module
 from repro.ir.printer import format_instruction
 
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Differential CI check for the query-based incremental pipeline.
+
+Two phases, mirroring the guarantees in ``tests/query``:
+
+1. **fig5 replay** — run fig5 against an empty artifact cache (cold),
+   then again in the same process (warm).  The warm run must render
+   bit-identically and beat the cold run by the speedup threshold:
+   profiles, FI campaign counts, and per-function model results are all
+   served from the caches instead of recomputed.
+
+2. **one-function edit** — duplicate a few instructions inside one
+   function of hercules (``laplacian``), re-profile, then re-model both
+   warm (shared query stores populated by the pre-edit build) and cold.
+   The per-instruction SDC maps must agree bit-for-bit, intra-function
+   queries of untouched functions must show zero misses, and the warm
+   re-model must beat the cold rebuild by the re-model threshold.
+
+Exits non-zero with a one-line reason on the first failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.bench import build_module
+from repro.cache.disk import configure_cache
+from repro.core.simple_models import create_model
+from repro.harness.context import QUICK, Workspace
+from repro.harness.fig5 import run_fig5
+from repro.profiling import ProfilingInterpreter
+from repro.protection.duplication import (
+    duplicable_iids,
+    duplicate_instructions,
+)
+from repro.query import reset_query_stores
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        sys.exit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def fig5_replay(speedup: float) -> None:
+    started = time.perf_counter()
+    cold = run_fig5(Workspace(QUICK)).render()
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = run_fig5(Workspace(QUICK)).render()
+    warm_seconds = time.perf_counter() - started
+
+    check(warm == cold, "fig5 warm rerun renders bit-identically")
+    check(
+        warm_seconds * speedup <= cold_seconds,
+        f"fig5 warm {warm_seconds:.2f}s is >={speedup:g}x faster than "
+        f"cold {cold_seconds:.2f}s",
+    )
+
+
+def one_function_edit(speedup: float) -> None:
+    reset_query_stores()
+    module = build_module("hercules", "small")
+    profile, _ = ProfilingInterpreter(module).run()
+    create_model("trident", module, profile, warm=False,
+                 shared=True).sdc_map()
+
+    duplicable = set(duplicable_iids(module))
+    helper_iids = [
+        inst.iid
+        for inst in module.functions["laplacian"].instructions()
+        if inst.iid in duplicable
+    ]
+    protected, report = duplicate_instructions(module, helper_iids[:3])
+    check(
+        report.touched_functions == {"laplacian"},
+        "duplication touched exactly one function",
+    )
+    pprofile, _ = ProfilingInterpreter(protected).run()
+
+    started = time.perf_counter()
+    cold_model = create_model("trident", protected, pprofile,
+                              warm=False, shared=False)
+    cold_map = cold_model.sdc_map()
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_model = create_model("trident", protected, pprofile,
+                              warm=False, shared=True)
+    warm_map = warm_model.sdc_map()
+    warm_seconds = time.perf_counter() - started
+
+    check(warm_map == cold_map,
+          "incremental re-model bit-identical to cold rebuild")
+    for name in set(protected.functions) - report.touched_functions:
+        for query in ("model.tuples", "model.fc"):
+            misses = warm_model.queries.view(query, name).misses
+            check(
+                misses == 0,
+                f"{query} for untouched {name} served from cache",
+            )
+    check(
+        warm_seconds * speedup <= cold_seconds,
+        f"re-model warm {warm_seconds:.3f}s is >={speedup:g}x faster "
+        f"than cold {cold_seconds:.3f}s",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache root (default: a fresh temp dir, so the "
+             "cold half of the differential is actually cold)",
+    )
+    parser.add_argument("--fig5-speedup", type=float, default=2.0)
+    parser.add_argument("--remodel-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-diff-")
+    configure_cache(cache_dir)
+    print(f"artifact cache: {cache_dir}")
+
+    fig5_replay(args.fig5_speedup)
+    one_function_edit(args.remodel_speedup)
+    print("differential check passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,6 @@ from .cfg import (
 )
 from .controldep import ControlDep, ControlDependence
 from .ddg import (
-    PathEnumerator,
-    PropagationPath,
     TERMINAL_BRANCH,
     TERMINAL_DEAD,
     TERMINAL_DETECT,
@@ -19,6 +17,8 @@ from .ddg import (
     TERMINAL_STORE,
     TERMINAL_STORE_ADDR,
     TERMINAL_TRUNCATED,
+    PathEnumerator,
+    PropagationPath,
     paths_from_instruction,
     sequence_of,
 )

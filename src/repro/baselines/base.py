@@ -18,11 +18,20 @@ class VulnerabilityModel:
     predict over the same fault space.
     """
 
+    #: Query-store name of the per-instruction result (subclasses).
+    QUERY: str | None = None
+
     def __init__(self, module: Module, profile: ProgramProfile,
-                 config: TridentConfig | None = None):
+                 config: TridentConfig | None = None, *,
+                 shared_queries: bool = True):
+        from ..query.engine import QueryEngine
+
         self.module = module
         self.profile = profile
         self.config = config or trident_config()
+        self.queries = QueryEngine(module, profile, self.config,
+                                   shared=shared_queries)
+        self._compute_deps: set = set()
         self._cache: dict[int, float] = {}
         #: Optional persistence hook (repro.cache.bind_model_results).
         self.result_sink = None
@@ -45,12 +54,36 @@ class VulnerabilityModel:
 
     # -- shared API -------------------------------------------------------
 
+    def _query_salt(self):
+        """Extra store-key component for model inputs outside the config
+        dataclass (ePVF's measured crash probability)."""
+        return None
+
     def instruction_vulnerability(self, iid: int) -> float:
         cached = self._cache.get(iid)
         if cached is None:
-            cached = self._compute(iid)
+            cached = self._query(iid)
             self._cache[iid] = cached
         return cached
+
+    def _query(self, iid: int) -> float:
+        """Per-instruction result via the persisted query store."""
+        from ..query.engine import MISS
+
+        engine = self.queries
+        site = engine.index.to_local.get(iid)
+        if self.QUERY is None or site is None:
+            return self._compute(iid)
+        home, local = site
+        view = engine.view(self.QUERY, home, self._query_salt())
+        stored = view.get(local)
+        if stored is not MISS:
+            return stored
+        self._compute_deps = set()
+        value = self._compute(iid)
+        return view.put(
+            local, value, engine.deps_for(self._compute_deps, exclude=home)
+        )
 
     def warm_cache(self, results: dict[int, float]) -> int:
         """Adopt fingerprint-keyed results (see Trident.warm_cache)."""
@@ -66,6 +99,7 @@ class VulnerabilityModel:
                 and len(self._cache) > self._flushed_results):
             self.result_sink(dict(self._cache))
             self._flushed_results = len(self._cache)
+        self.queries.flush()
 
     def overall(self, samples: int = 3000, seed: int = 0) -> float:
         if not self.eligible:
@@ -94,12 +128,18 @@ class VulnerabilityModel:
     def _union_of_terminals(self, propagator: ForwardPropagator,
                             iid: int, kinds=None) -> float:
         """Union of corruption probabilities over terminal events."""
+        from ..query.engine import CALLGRAPH_DEP
+
         inst = self.module.instruction(iid)
         if not inst.has_result:
             return 0.0
         origin_count = self.profile.count(iid)
+        result = propagator.propagate(inst)
+        self._compute_deps |= result.functions
+        if result.callgraph:
+            self._compute_deps.add(CALLGRAPH_DEP)
         survive = 1.0
-        for event in propagator.propagate(inst).events:
+        for event in result.events:
             if kinds is not None and event.kind not in kinds:
                 continue
             probability = event.probability

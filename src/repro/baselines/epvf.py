@@ -50,12 +50,28 @@ class _EpvfTuples(TupleDeriver):
 class EpvfModel(VulnerabilityModel):
     """ePVF as an SDC predictor (Fig. 9 comparison)."""
 
+    QUERY = "model.epvf"
+
     def __init__(self, module: Module, profile: ProgramProfile, config=None,
-                 measured_crash_probability: float | None = None):
-        super().__init__(module, profile, config)
-        tuples = _EpvfTuples(profile, self.config)
-        self._propagator = ForwardPropagator(module, tuples, self.config)
+                 measured_crash_probability: float | None = None, *,
+                 shared_queries: bool = True):
+        super().__init__(module, profile, config,
+                         shared_queries=shared_queries)
+        # The base (empirical) tuples ride the shared model.tuples store
+        # via the engine; the ePVF transformation is applied on top of
+        # each read, and the propagation memoizes under its own flavor.
+        tuples = _EpvfTuples(profile, self.config, self.queries)
+        self._propagator = ForwardPropagator(
+            module, tuples, self.config, self.queries,
+            query="model.fs.epvf",
+        )
         self.measured_crash_probability = measured_crash_probability
+
+    def _query_salt(self):
+        # The subtracted FI-measured crash fraction is a model input
+        # living outside the config dataclass: different measurements
+        # must not share per-instruction results.
+        return self.measured_crash_probability
 
     def _compute(self, iid: int) -> float:
         # The empirical tuples already deduct footprint-derived crash

@@ -32,10 +32,19 @@ class _IdentityTuples(TupleDeriver):
 class PvfModel(VulnerabilityModel):
     """PVF as an SDC predictor (the strawman of Fig. 9)."""
 
-    def __init__(self, module: Module, profile: ProgramProfile, config=None):
-        super().__init__(module, profile, config)
+    QUERY = "model.pvf"
+
+    def __init__(self, module: Module, profile: ProgramProfile, config=None,
+                 *, shared_queries: bool = True):
+        super().__init__(module, profile, config,
+                         shared_queries=shared_queries)
         identity = _IdentityTuples(profile, self.config)
-        self._propagator = ForwardPropagator(module, identity, self.config)
+        # Identity-tuple propagation differs from TRIDENT's fs, so it
+        # memoizes under its own query flavor.
+        self._propagator = ForwardPropagator(
+            module, identity, self.config, self.queries,
+            query="model.fs.pvf",
+        )
 
     def _compute(self, iid: int) -> float:
         # Everything that reaches architectural state is vulnerable:

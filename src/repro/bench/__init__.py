@@ -1,6 +1,6 @@
 """The 11-benchmark suite of Table I (mini-workload analogues)."""
 
-from .common import Lcg, SCALES, pick_scale, random_graph
+from .common import SCALES, Lcg, pick_scale, random_graph
 from .registry import (
     BENCHMARK_NAMES,
     BenchmarkSpec,

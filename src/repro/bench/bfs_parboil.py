@@ -7,7 +7,7 @@ dependence shape (queue cells are written once and read once).
 
 from __future__ import annotations
 
-from ..ir import FunctionBuilder, I32, Module
+from ..ir import I32, FunctionBuilder, Module
 from .common import pick_scale, random_graph
 
 SUITE = "Parboil"

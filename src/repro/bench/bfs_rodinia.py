@@ -10,7 +10,7 @@ terminating.
 
 from __future__ import annotations
 
-from ..ir import FunctionBuilder, I32, Module
+from ..ir import I32, FunctionBuilder, Module
 from .common import pick_scale, random_graph
 
 SUITE = "Rodinia"

@@ -8,7 +8,7 @@ propagation through call arguments and return values.
 
 from __future__ import annotations
 
-from ..ir import F64, FunctionBuilder, I32, Module, pointer_to
+from ..ir import F64, I32, FunctionBuilder, Module, pointer_to
 from ..ir.dsl import ArrayView
 from .common import Lcg, pick_scale
 

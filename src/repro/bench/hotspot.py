@@ -7,7 +7,7 @@ corruption often vanishes in the rounding (Sec. IV-E).
 
 from __future__ import annotations
 
-from ..ir import F32, FunctionBuilder, I32, Module
+from ..ir import F32, I32, FunctionBuilder, Module
 from .common import Lcg, pick_scale
 
 SUITE = "Rodinia"

@@ -8,7 +8,7 @@ The "33 5" style input becomes (qubits, gate rounds).
 
 from __future__ import annotations
 
-from ..ir import FunctionBuilder, I64, I32, Module
+from ..ir import I32, I64, FunctionBuilder, Module
 from .common import Lcg, pick_scale
 
 SUITE = "SPEC"

@@ -7,7 +7,7 @@ biased branch decisions through min-selection.
 
 from __future__ import annotations
 
-from ..ir import FunctionBuilder, I32, Module
+from ..ir import I32, FunctionBuilder, Module
 from .common import Lcg, pick_scale
 
 SUITE = "Rodinia"

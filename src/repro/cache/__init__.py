@@ -11,8 +11,10 @@ from .artifacts import (
     GoldenSummary,
     bind_model_results,
     campaign_key,
+    function_results_key,
     golden_key,
     load_cached_profile,
+    load_function_results,
     load_golden_summary,
     load_model_results,
     model_key,
@@ -20,28 +22,45 @@ from .artifacts import (
     profile_digest,
     profile_key,
     store_cached_profile,
+    store_function_results,
     store_golden_summary,
     store_model_results,
 )
 from .disk import (
     CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
     ArtifactCache,
     CacheStats,
-    DEFAULT_CACHE_DIR,
     configure_cache,
     get_cache,
     resolve_cache_dir,
 )
-from .fingerprint import combine_key, config_digest, module_fingerprint
-from .manager import AnalysisManager, analysis_manager_for
+from .fingerprint import (
+    combine_key,
+    config_digest,
+    function_fingerprint,
+    function_fingerprints,
+    module_fingerprint,
+)
+from .manager import (
+    CFG_SHAPE_ANALYSES,
+    AnalysisManager,
+    analysis_manager_for,
+    analysis_stats_line,
+    notify_transform,
+    reset_analysis_stats,
+)
 
 __all__ = [
-    "AnalysisManager", "ArtifactCache", "CACHE_DIR_ENV", "CacheStats",
-    "DEFAULT_CACHE_DIR", "GoldenSummary", "analysis_manager_for",
-    "bind_model_results", "campaign_key", "combine_key", "config_digest",
-    "configure_cache", "get_cache", "golden_key", "load_cached_profile",
+    "AnalysisManager", "ArtifactCache", "CACHE_DIR_ENV", "CFG_SHAPE_ANALYSES",
+    "CacheStats", "DEFAULT_CACHE_DIR", "GoldenSummary",
+    "analysis_manager_for", "analysis_stats_line", "bind_model_results",
+    "campaign_key", "combine_key", "config_digest", "configure_cache",
+    "function_fingerprint", "function_fingerprints", "function_results_key",
+    "get_cache", "golden_key", "load_cached_profile", "load_function_results",
     "load_golden_summary", "load_model_results", "model_key",
-    "model_results_key", "module_fingerprint", "profile_digest",
-    "profile_key", "resolve_cache_dir", "store_cached_profile",
+    "model_results_key", "module_fingerprint", "notify_transform",
+    "profile_digest", "profile_key", "reset_analysis_stats",
+    "resolve_cache_dir", "store_cached_profile", "store_function_results",
     "store_golden_summary", "store_model_results",
 ]

@@ -34,6 +34,7 @@ from .fingerprint import combine_key, config_digest, module_fingerprint
 PROFILE_KIND = "profile"
 GOLDEN_KIND = "golden"
 MODEL_KIND = "model"
+MODEL_FN_KIND = "model_fn"
 CAMPAIGN_KIND = "campaign"
 
 
@@ -216,6 +217,66 @@ def bind_model_results(cache: ArtifactCache, model, model_name: str,
         cache, key, results
     )
     return len(cached or {})
+
+
+# ---------------------------------------------------------------------------
+# Per-function model-result envelopes (the query pipeline's disk layer)
+
+
+def function_results_key(query: str, input_key: str,
+                         config_projection: str, salt=None,
+                         scope: str = "") -> str:
+    """Key of one query's per-function result store.
+
+    ``input_key`` is the function's combined (canonical-fingerprint,
+    profile-slice-digest) content address, so warm CI runs reuse the
+    *unchanged functions* of an edited module across commits — the
+    whole-module ``model`` kind only ever matches identical modules.
+
+    ``scope`` is the function *name* for interprocedural queries: two
+    content-identical functions compute identical intra-function
+    results, but their interprocedural walks route through different
+    call sites, so those stores must not be shared between them.
+    """
+    return combine_key("model_fn", query, scope, input_key,
+                       config_projection, salt)
+
+
+def load_function_results(
+    cache: ArtifactCache, key: str,
+) -> dict[int, tuple[float, dict | None]] | None:
+    """{local index -> (value, dependency key map or None)} or None.
+
+    The dependency map names the *other* functions (and pseudo-inputs
+    like the callgraph) an entry's value was derived from; the query
+    engine revalidates it entry-by-entry, so one envelope can serve a
+    module in which only some of those dependencies still hold.
+    """
+    payload = cache.load(MODEL_FN_KIND, key)
+    if payload is None:
+        return None
+    try:
+        out: dict[int, tuple[float, dict | None]] = {}
+        for local, (value, deps) in payload["entries"].items():
+            if deps is not None and not isinstance(deps, dict):
+                raise TypeError("malformed dependency map")
+            out[int(local)] = (float(value), deps)
+        return out
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def store_function_results(
+    cache: ArtifactCache, key: str,
+    entries: dict[int, tuple[float, dict | None]],
+) -> bool:
+    payload = {
+        "entries": {
+            str(local): [value, deps] for local, (value, deps)
+            in entries.items()
+        }
+    }
+    return cache.store(MODEL_FN_KIND, key, payload)
 
 
 # ---------------------------------------------------------------------------

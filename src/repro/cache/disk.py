@@ -28,8 +28,10 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-#: Bump when the envelope or any artifact payload changes shape.
-SCHEMA_VERSION = 1
+#: Bump when the envelope or any artifact payload changes shape *or
+#: meaning* (v2: per-site profiler sampling substreams changed profile
+#: reservoir contents without changing the profile key).
+SCHEMA_VERSION = 2
 
 #: Environment variable naming the cache root (CI, benchmarks, CLI).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -169,6 +171,62 @@ class ArtifactCache:
             path.unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Maintenance (the `repro cache` subcommand)
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> list[tuple[str, Path, int, float]]:
+        """(kind, path, size, mtime) of every stored artifact."""
+        entries = []
+        if not self.root.is_dir():
+            return entries
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append(
+                    (kind_dir.name, path, stat.st_size, stat.st_mtime)
+                )
+        return entries
+
+    def disk_usage(self) -> dict[str, tuple[int, int]]:
+        """Per-kind (entry count, total bytes) of the on-disk store."""
+        usage: dict[str, tuple[int, int]] = {}
+        for kind, _path, size, _mtime in self._entries():
+            count, total = usage.get(kind, (0, 0))
+            usage[kind] = (count + 1, total + size)
+        return usage
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-written entries down to ``max_bytes``.
+
+        Content-addressed entries are always safe to drop (the next run
+        recomputes and rewrites).  Returns (entries removed, bytes
+        freed).
+        """
+        entries = self._entries()
+        total = sum(size for _k, _p, size, _m in entries)
+        removed = freed = 0
+        for _kind, path, size, _mtime in sorted(entries, key=lambda e: e[3]):
+            if total - freed <= max_bytes:
+                break
+            self._drop(path)
+            removed += 1
+            freed += size
+        return removed, freed
+
+    def clear(self) -> int:
+        """Remove every stored artifact; returns how many were removed."""
+        removed = 0
+        for _kind, path, _size, _mtime in self._entries():
+            self._drop(path)
+            removed += 1
+        return removed
 
 
 class _NullCache(ArtifactCache):

@@ -22,10 +22,13 @@ from dataclasses import asdict, is_dataclass
 from weakref import WeakKeyDictionary
 
 from ..ir.module import Module
-from ..ir.printer import print_module
+from ..ir.printer import canonical_function_text, print_module
 
 #: module -> (revision, fingerprint)
 _FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
+
+#: module -> (revision, {function name -> fingerprint})
+_FUNCTION_FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def _sha256(text: str) -> str:
@@ -41,6 +44,31 @@ def module_fingerprint(module: Module) -> str:
     fingerprint = _sha256(print_module(module))
     _FINGERPRINTS[module] = (revision, fingerprint)
     return fingerprint
+
+
+def function_fingerprint(function) -> str:
+    """SHA-256 of one function's *renumbering-stable* canonical text.
+
+    Uses function-local value numbering (see
+    :func:`repro.ir.printer.canonical_function_text`), so editing one
+    function never changes the fingerprint of any other — the property
+    function-granular invalidation rests on.
+    """
+    return _sha256(canonical_function_text(function))
+
+
+def function_fingerprints(module: Module) -> dict[str, str]:
+    """Per-function fingerprints, memoized per ``(module, revision)``."""
+    revision = getattr(module, "revision", 0)
+    cached = _FUNCTION_FINGERPRINTS.get(module)
+    if cached is not None and cached[0] == revision:
+        return cached[1]
+    fingerprints = {
+        name: function_fingerprint(function)
+        for name, function in module.functions.items()
+    }
+    _FUNCTION_FINGERPRINTS[module] = (revision, fingerprints)
+    return fingerprints
 
 
 def config_digest(config) -> str:

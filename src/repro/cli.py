@@ -13,7 +13,7 @@ import sys
 
 from .bench.registry import BENCHMARK_NAMES, all_benchmarks, build_module
 from .cache import (
-    bind_model_results,
+    analysis_stats_line,
     configure_cache,
     get_cache,
     load_cached_profile,
@@ -21,8 +21,8 @@ from .cache import (
     profile_key,
     store_cached_profile,
 )
-from .core.simple_models import MODEL_NAMES, build_model
-from .fi.campaign import CampaignResult, OUTCOMES
+from .core.simple_models import MODEL_NAMES, create_model
+from .fi.campaign import OUTCOMES, CampaignResult
 from .fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
@@ -74,6 +74,23 @@ def build_argument_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--opt-level", type=int, default=0,
                          choices=(0, 1, 2),
                          help="optimize before analyzing (2 = SSA form)")
+    analyze.add_argument("--explain", action="store_true",
+                         help="print the query DAG and per-query "
+                              "hit/miss/recompute counters")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain the artifact cache"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_commands.add_parser(
+        "stats", help="per-kind entry counts and sizes of the on-disk store"
+    )
+    prune = cache_commands.add_parser(
+        "prune", help="evict least-recently-written entries to fit a budget"
+    )
+    prune.add_argument("--max-bytes", type=int, required=True,
+                       help="target size of the cache root, in bytes")
+    cache_commands.add_parser("clear", help="remove every stored artifact")
 
     report = commands.add_parser(
         "report", help="generate a markdown resilience report"
@@ -150,6 +167,7 @@ def main(argv=None, out=sys.stdout) -> int:
         "protect": _cmd_protect,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args, out)
 
@@ -170,6 +188,9 @@ def _print_cache_summary(out) -> None:
     cache = get_cache()
     if cache.enabled:
         print(cache.stats.summary(), file=out)
+    analyses = analysis_stats_line()
+    if analyses:
+        print(analyses, file=out)
 
 
 # ---------------------------------------------------------------------------
@@ -214,8 +235,7 @@ def _cmd_analyze(args, out) -> int:
               f"{opt_report.after_instructions} static instructions "
               f"({opt_report.slots_promoted} slots promoted)", file=out)
     profile = _profile_for(module)
-    model = build_model(args.model, module, profile)
-    bind_model_results(get_cache(), model, args.model)
+    model = create_model(args.model, module, profile)
     overall = model.overall_sdc(samples=args.samples)
     print(f"program: {module.name} ({module.num_instructions} static, "
           f"{profile.dynamic_count} dynamic instructions)", file=out)
@@ -230,7 +250,40 @@ def _cmd_analyze(args, out) -> int:
         inst = module.instruction(iid)
         print(f"  {sdc_map[iid] * 100:6.2f}%  {format_instruction(inst)}",
               file=out)
+    if args.explain:
+        print(file=out)
+        for line in model.queries.explain():
+            print(line, file=out)
     _print_cache_summary(out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    cache = get_cache()
+    if not cache.enabled:
+        print("artifact cache is disabled (--no-cache)", file=out)
+        return 2
+    if args.cache_command == "stats":
+        usage = cache.disk_usage()
+        if not usage:
+            print(f"cache root {cache.root}: empty", file=out)
+            return 0
+        print(f"cache root {cache.root}:", file=out)
+        total_count = total_bytes = 0
+        for kind in sorted(usage):
+            count, size = usage[kind]
+            total_count += count
+            total_bytes += size
+            print(f"  {kind:<12} {count:>6} entries  {size:>12,} bytes",
+                  file=out)
+        print(f"  {'total':<12} {total_count:>6} entries  "
+              f"{total_bytes:>12,} bytes", file=out)
+    elif args.cache_command == "prune":
+        removed, freed = cache.prune(args.max_bytes)
+        print(f"pruned {removed} entries ({freed:,} bytes freed)", file=out)
+    elif args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries", file=out)
     return 0
 
 

@@ -10,14 +10,20 @@ from .fc import ControlFlowSubModel
 from .fm import MemorySubModel
 from .fs import SequenceResult, StaticSubModel
 from .masking import output_masking_factor
-from .simple_models import MODEL_NAMES, build_all_models, build_model
+from .simple_models import (
+    ALL_MODEL_NAMES,
+    MODEL_NAMES,
+    build_all_models,
+    build_model,
+    create_model,
+)
 from .trident import Trident
 from .tuples import IDENTITY, PropTuple, TupleDeriver
 
 __all__ = [
-    "ControlFlowSubModel", "IDENTITY", "MODEL_NAMES", "MemorySubModel",
-    "PropTuple", "SequenceResult", "StaticSubModel", "Trident",
-    "TridentConfig", "TupleDeriver", "build_all_models", "build_model",
-    "fs_fc_config", "fs_only_config", "output_masking_factor",
-    "trident_config",
+    "ALL_MODEL_NAMES", "ControlFlowSubModel", "IDENTITY", "MODEL_NAMES",
+    "MemorySubModel", "PropTuple", "SequenceResult", "StaticSubModel",
+    "Trident", "TridentConfig", "TupleDeriver", "build_all_models",
+    "build_model", "create_model", "fs_fc_config", "fs_only_config",
+    "output_masking_factor", "trident_config",
 ]

@@ -29,11 +29,14 @@ from .config import TridentConfig
 class ControlFlowSubModel:
     """Maps corrupted branches to (store, corruption probability) pairs."""
 
+    QUERY = "model.fc"
+
     def __init__(self, module: Module, profile: ProgramProfile,
-                 config: TridentConfig):
+                 config: TridentConfig, engine=None):
         self.module = module
         self.profile = profile
         self.config = config
+        self.engine = engine
         # Control dependence and loop info come from the module's shared
         # AnalysisManager, so every model built over this module (the
         # fig5 ablations, the fig9 baselines) reuses one computation.
@@ -49,8 +52,30 @@ class ControlFlowSubModel:
         cached = self._cache.get(branch.iid)
         if cached is not None:
             return cached
-        result = self._compute(branch)
+        result = self._query(branch)
         self._cache[branch.iid] = result
+        return result
+
+    def _query(self, branch: Branch) -> list[tuple[Store, float]]:
+        """fc via the per-function query store (branch and its governed
+        stores are always intra-function, so entries carry no deps)."""
+        engine = self.engine
+        if engine is None:
+            return self._compute(branch)
+        from ..query.engine import MISS
+
+        home, local = engine.index.local(branch.iid)
+        view = engine.view(self.QUERY, home)
+        stored = view.get(local)
+        if stored is not MISS:
+            return [
+                (engine.index.instruction(home, store_local), pc)
+                for store_local, pc in stored
+            ]
+        result = self._compute(branch)
+        view.put(local, [
+            (engine.index.local(store.iid)[1], pc) for store, pc in result
+        ])
         return result
 
     def classify(self, branch: Branch) -> str:
@@ -62,6 +87,11 @@ class ControlFlowSubModel:
     # ------------------------------------------------------------------
 
     def _info(self, function: Function) -> tuple[ControlDependence, LoopInfo]:
+        if self.engine is not None:
+            return (
+                self.engine.cfg("control_dependence", function),
+                self.engine.cfg("loop_info", function),
+            )
         return (
             self._analyses.control_dependence(function),
             self._analyses.loop_info(function),
@@ -84,7 +114,10 @@ class ControlFlowSubModel:
         seen: set[int] = set()
         for direction, governed in ((True, governed_true),
                                     (False, governed_false)):
-            for block in governed:
+            # Layout order, not set order: the caller sums our pc values
+            # against fm terms, so the result order must be a function
+            # of program content alone (bit-reproducible builds).
+            for block in (b for b in function.blocks if b in governed):
                 for inst in block.instructions:
                     if not isinstance(inst, Store) or inst.iid in seen:
                         continue

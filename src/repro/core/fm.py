@@ -67,13 +67,24 @@ class _Contribution:
 
 
 class MemorySubModel:
-    """P(SDC | a given store instruction writes a corrupted value)."""
+    """P(SDC | a given store instruction writes a corrupted value).
+
+    The fixed point is solved per strongly-connected component of the
+    store graph, in reverse topological order, with SCC members iterated
+    in canonical (function, local-position) order.  That makes every
+    store's converged reach a function of *content only* — independent
+    of which store was queried first — which is what lets per-store
+    results live in the shared ``model.fm`` query store and be adopted
+    by an incrementally rebuilt model with bit-identical values.
+    """
+
+    QUERY = "model.fm"
 
     def __init__(self, module: Module, profile: ProgramProfile,
                  config: TridentConfig,
                  control_model: ControlFlowSubModel,
                  propagator: ForwardPropagator,
-                 weigher=None):
+                 weigher=None, engine=None):
         from .weighting import ExecutionWeigher
 
         self.module = module
@@ -81,12 +92,17 @@ class MemorySubModel:
         self.config = config
         self.fc = control_model
         self.propagator = propagator
-        self.weigher = weigher or ExecutionWeigher(module, profile)
+        self.engine = engine
+        self.weigher = weigher or ExecutionWeigher(module, profile, engine)
         #: store iid -> {output iid -> reach probability}
         self._memo: dict[int, dict[int, float]] = {}
         self._load_terms: dict[int, list[_Contribution]] = {}
+        self._term_fns: dict[int, set] = {}
         self._store_edges: dict[int, list[tuple[int, float]]] = {}
         self._factors: dict[int, float] = {}
+        #: store iid -> dependency names (functions + pseudo-inputs) its
+        #: reach was derived from, including transitive successors.
+        self._dep_fns: dict[int, frozenset] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -111,27 +127,19 @@ class MemorySubModel:
         cached = self._memo.get(store.iid)
         if cached is not None:
             return cached
-        closure = self._closure(store.iid)
-        values: dict[int, dict[int, float]] = {iid: {} for iid in closure}
-        for _ in range(_MAX_ITERATIONS):
-            delta = 0.0
-            for iid in closure:
-                updated = self._evaluate_store(iid, values)
-                current = values[iid]
-                for sink, probability in updated.items():
-                    previous = current.get(sink, 0.0)
-                    if probability > previous + 1e-12:
-                        delta = max(delta, probability - previous)
-                        current[sink] = probability
-            if delta < _CONVERGENCE_EPS:
-                break
-        self._memo.update(values)
-        return values[store.iid]
+        self._solve(store.iid)
+        return self._memo[store.iid]
+
+    def result_deps(self, store_iid: int) -> frozenset:
+        """Dependency names of a solved store's reach (for model.sdc)."""
+        return self._dep_fns.get(store_iid, frozenset())
 
     def clear_cache(self) -> None:
         self._memo.clear()
         self._load_terms.clear()
+        self._term_fns.clear()
         self._store_edges.clear()
+        self._dep_fns.clear()
 
     @property
     def memoized_stores(self) -> int:
@@ -163,20 +171,180 @@ class MemorySubModel:
             self._store_edges[store_iid] = edges
         return edges
 
-    def _closure(self, root_iid: int) -> list[int]:
-        """All store iids reachable from the root in the memory graph."""
+    def _successors(self, store_iid: int) -> list[int]:
+        """Stores this store's corruption can flow into (one hop)."""
+        out: list[int] = []
         seen: set[int] = set()
-        worklist = [root_iid]
-        while worklist:
-            store_iid = worklist.pop()
-            if store_iid in seen:
+        for load_iid, _weight in self._edges_of(store_iid):
+            for term in self._terms_of(load_iid):
+                if term.kind == "store" and term.ref not in seen:
+                    seen.add(term.ref)
+                    out.append(term.ref)
+        return out
+
+    # ------------------------------------------------------------------
+    # SCC solving (iterative Tarjan, reverse topological emission)
+    # ------------------------------------------------------------------
+
+    def _solve(self, root_iid: int) -> None:
+        """Solve every unsolved SCC reachable from ``root_iid``.
+
+        Tarjan pops an SCC only after all its successors' SCCs popped,
+        so by the time :meth:`_solve_scc` runs, every out-of-component
+        reference is already finalized in ``_memo`` — each component's
+        fixed point is self-contained and order-independent.
+        """
+        indices: dict[int, int] = {}
+        low: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        counter = 0
+
+        def fresh_children(iid: int):
+            return iter([s for s in self._successors(iid)
+                         if s not in self._memo])
+
+        indices[root_iid] = low[root_iid] = counter
+        counter += 1
+        stack.append(root_iid)
+        on_stack.add(root_iid)
+        frames: list[tuple[int, object]] = [
+            (root_iid, fresh_children(root_iid))
+        ]
+        while frames:
+            node, children = frames[-1]
+            descended = False
+            for child in children:
+                if child not in indices:
+                    indices[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    frames.append((child, fresh_children(child)))
+                    descended = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], indices[child])
+            if descended:
                 continue
-            seen.add(store_iid)
-            for load_iid, _weight in self._edges_of(store_iid):
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == indices[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                self._solve_scc(component)
+
+    def _canonical(self, component: list[int]) -> list[int]:
+        if self.engine is not None:
+            return sorted(component, key=self.engine.index.local)
+        return sorted(component)
+
+    def _home(self, iid: int) -> str:
+        if self.engine is not None:
+            return self.engine.index.home[iid]
+        return self.module.instruction(iid).parent.parent.name
+
+    def _solve_scc(self, component: list[int]) -> None:
+        members = self._canonical(component)
+        if self._try_adopt(members):
+            return
+        values: dict[int, dict[int, float]] = {iid: {} for iid in members}
+        for _ in range(_MAX_ITERATIONS):
+            delta = 0.0
+            for iid in members:
+                updated = self._evaluate_store(iid, values)
+                current = values[iid]
+                for sink, probability in updated.items():
+                    previous = current.get(sink, 0.0)
+                    if probability > previous + 1e-12:
+                        delta = max(delta, probability - previous)
+                        current[sink] = probability
+            if delta < _CONVERGENCE_EPS:
+                break
+        deps = self._scc_deps(members)
+        for iid in members:
+            self._memo[iid] = values[iid]
+            self._dep_fns[iid] = deps
+        self._publish(members, values, deps)
+
+    def _scc_deps(self, members: list[int]) -> frozenset:
+        if self.engine is None:
+            return frozenset()
+        member_set = set(members)
+        deps: set = set()
+        for iid in members:
+            deps.add(self._home(iid))
+            for load_iid, _weight in self._edges_of(iid):
+                deps.add(self._home(load_iid))
+                deps |= self._term_fns.get(load_iid, set())
                 for term in self._terms_of(load_iid):
-                    if term.kind == "store" and term.ref not in seen:
-                        worklist.append(term.ref)
-        return sorted(seen)
+                    if term.kind == "store" and term.ref not in member_set:
+                        deps |= self._dep_fns.get(term.ref, frozenset())
+        return frozenset(deps)
+
+    def _try_adopt(self, members: list[int]) -> bool:
+        """Adopt a whole SCC from the query store, all-or-nothing.
+
+        Partial adoption would seed the fixed point with converged
+        values for some members and zeros for others — a different
+        iteration trajectory than the cold solve, hence potentially
+        different low-order bits.  All-or-nothing keeps warm results
+        bit-identical to cold ones.
+        """
+        engine = self.engine
+        if engine is None:
+            return False
+        from ..query.engine import MISS
+
+        adopted: list[tuple[int, str, list, dict | None]] = []
+        for iid in members:
+            home, local = engine.index.local(iid)
+            view = engine.view(self.QUERY, home)
+            stored = view.get(local)
+            if stored is MISS:
+                return False
+            entry = view.entries.get(local)
+            adopted.append(
+                (iid, home, stored, entry.deps if entry else None)
+            )
+        for iid, home, stored, deps in adopted:
+            reach: dict[int, float] = {}
+            for ref, probability in stored:
+                if ref == _ADDR_SINK:
+                    reach[_ADDR_SINK] = probability
+                else:
+                    reach[engine.index.resolve(ref, home)] = probability
+            self._memo[iid] = reach
+            self._dep_fns[iid] = frozenset(set(deps or ()) | {home})
+        return True
+
+    def _publish(self, members: list[int],
+                 values: dict[int, dict[int, float]],
+                 deps: frozenset) -> None:
+        engine = self.engine
+        if engine is None:
+            return
+        for iid in members:
+            home, local = engine.index.local(iid)
+            view = engine.view(self.QUERY, home)
+            payload = sorted(
+                ([self._symbolize_sink(sink, home), probability]
+                 for sink, probability in values[iid].items()),
+                key=repr,
+            )
+            view.put(local, payload, engine.deps_for(deps, exclude=home))
+
+    def _symbolize_sink(self, sink: int, home: str):
+        if sink == _ADDR_SINK:
+            return _ADDR_SINK
+        return self.engine.index.symbolize(sink, home)
 
     def _terms_of(self, load_iid: int) -> list[_Contribution]:
         """Precompiled propagation terms of one load."""
@@ -188,9 +356,17 @@ class MemorySubModel:
         load_count = self.profile.count(load_iid)
         if load_count == 0:
             self._load_terms[load_iid] = terms
+            self._term_fns[load_iid] = set()
             return terms
-        for event in self.propagator.propagate(load).events:
+        result = self.propagator.propagate(load)
+        fns: set = set(result.functions)
+        if result.callgraph:
+            from ..query.engine import CALLGRAPH_DEP
+
+            fns.add(CALLGRAPH_DEP)
+        for event in result.events:
             terminal = event.instruction
+            fns.add(terminal.parent.parent.name)
             alive = event.probability
             # Divergence weighting (Fig. 4): scale by how often the
             # terminal executes relative to the load; post-dominating
@@ -213,6 +389,7 @@ class MemorySubModel:
                     ))
             # ret/detect: masked (or detected), no term.
         self._load_terms[load_iid] = terms
+        self._term_fns[load_iid] = fns
         return terms
 
     def _branch_terms(self, branch: Branch,
@@ -238,7 +415,12 @@ class MemorySubModel:
                 if term.kind == "out":
                     sinks.add(term.ref)
                 else:
-                    reach = values.get(term.ref) or self._memo.get(term.ref)
+                    # Explicit None check: an SCC member's (possibly
+                    # still-empty) in-flight value must never fall back
+                    # to a finalized memo entry mid-iteration.
+                    reach = values.get(term.ref)
+                    if reach is None:
+                        reach = self._memo.get(term.ref)
                     if reach:
                         sinks.update(reach)
         return sinks

@@ -66,26 +66,90 @@ class PropagationResult:
     crash_probability: float
     #: Number of values the corruption could reach (diagnostics).
     reached_values: int
+    #: Functions the propagation walked through (dependency tracking).
+    functions: frozenset = frozenset()
+    #: Did the walk consult the callgraph (Ret/Call handling)?  A new
+    #: caller changes Ret routing without changing any walked function.
+    callgraph: bool = False
 
 
 class ForwardPropagator:
-    """Computes :class:`PropagationResult` for fault sites in a module."""
+    """Computes :class:`PropagationResult` for fault sites in a module.
+
+    With a query engine attached, results live in a per-function query
+    store (``model.fs`` by default; the PVF/ePVF baselines use their own
+    flavors since their tuples differ).  Stored entries symbolize the
+    terminal instructions as function-local coordinates and carry the
+    dependency key map of every *other* function the walk crossed, so an
+    entry survives exactly as long as every function it was derived from
+    is unchanged.
+    """
 
     def __init__(self, module: Module, tuples: TupleDeriver,
-                 config: TridentConfig):
+                 config: TridentConfig, engine=None,
+                 query: str = "model.fs"):
         self.module = module
         self.tuples = tuples
         self.config = config
+        self.engine = engine
+        self.query = query
         self._call_sites: dict[str, list[Call]] = {}
         for function in module.functions.values():
             for inst in function.instructions():
                 if isinstance(inst, Call):
                     self._call_sites.setdefault(inst.callee, []).append(inst)
+        self._touched: set[str] = set()
+        self._callgraph = False
 
     # ------------------------------------------------------------------
 
     def propagate(self, origin: Value) -> PropagationResult:
         """Terminal events for a fault in ``origin``'s value."""
+        engine = self.engine
+        if engine is None:
+            return self._propagate(origin)
+        site = engine.index.to_local.get(getattr(origin, "iid", -1))
+        if site is None:
+            return self._propagate(origin)
+        from ..query.engine import CALLGRAPH_DEP, MISS
+
+        home, local = site
+        view = engine.view(self.query, home)
+        stored = view.get(local)
+        if stored is not MISS:
+            return self._rehydrate(stored, home)
+        result = self._propagate(origin)
+        dep_names = set(result.functions)
+        if result.callgraph:
+            dep_names.add(CALLGRAPH_DEP)
+        payload = (
+            [(event.kind,
+              engine.index.symbolize(event.instruction.iid, home),
+              event.probability) for event in result.events],
+            result.crash_probability,
+            result.reached_values,
+            sorted(result.functions),
+            result.callgraph,
+        )
+        view.put(local, payload, engine.deps_for(dep_names, exclude=home))
+        return result
+
+    def _rehydrate(self, payload, home: str) -> PropagationResult:
+        events_raw, crash, reached, functions, callgraph = payload
+        index = self.engine.index
+        events = [
+            TerminalEvent(kind, index.instruction_of(ref, home), probability)
+            for kind, ref, probability in events_raw
+        ]
+        return PropagationResult(events, crash, reached,
+                                 frozenset(functions), callgraph)
+
+    def _propagate(self, origin: Value) -> PropagationResult:
+        self._touched = set()
+        self._callgraph = False
+        parent = getattr(origin, "parent", None)
+        if isinstance(origin, Instruction) and parent is not None:
+            self._touched.add(parent.parent.name)
         nodes, edges, terminals = self._reachable_graph(origin)
         prob: dict[int, float] = {id(node): 0.0 for node in nodes}
         prob[id(origin)] = 1.0
@@ -119,7 +183,8 @@ class ForwardPropagator:
                 events.append(TerminalEvent(kind, terminal, probability))
 
         crash = self._crash_probability(nodes, prob)
-        return PropagationResult(events, crash, len(nodes))
+        return PropagationResult(events, crash, len(nodes),
+                                 frozenset(self._touched), self._callgraph)
 
     # ------------------------------------------------------------------
 
@@ -143,9 +208,14 @@ class ForwardPropagator:
 
         while worklist:
             value = worklist.pop()
-            for user in list(value.users):
-                if not isinstance(user, Instruction):
-                    continue
+            # Sort users by position: the builder and the parser register
+            # uses in different orders, and float accumulation along the
+            # walk must not depend on which of the two built the module.
+            users = sorted(
+                (u for u in list(value.users) if isinstance(u, Instruction)),
+                key=lambda u: u.iid,
+            )
+            for user in users:
                 for operand_index, operand in enumerate(user.operands):
                     if operand is not value:
                         continue
@@ -155,6 +225,7 @@ class ForwardPropagator:
 
     def _visit_use(self, value, user, operand_index, edges, terminals,
                    reach) -> None:
+        self._touched.add(user.parent.parent.name)
         if isinstance(user, Store):
             kind = EV_STORE if operand_index == 0 else EV_STORE_ADDR
             terminals.append((kind, user, value, 1.0))
@@ -169,18 +240,24 @@ class ForwardPropagator:
             terminals.append((EV_DETECT, user, value, 1.0))
             return
         if isinstance(user, Ret):
+            # Routing depends on who calls this function: record the
+            # callgraph pseudo-dependency either way.
+            self._callgraph = True
             function = user.parent.parent
             sites = self._call_sites.get(function.name, [])
             if function.name == "main" or not sites:
                 terminals.append((EV_RET, user, value, 1.0))
                 return
             for call in sites:
+                self._touched.add(call.parent.parent.name)
                 reach(call)
                 edges.append((value, call, 1.0))
             return
         if isinstance(user, Call):
+            self._callgraph = True
             if user.callee in self.module.functions:
                 callee = self.module.functions[user.callee]
+                self._touched.add(callee.name)
                 formal: Argument = callee.args[operand_index]
                 reach(formal)
                 edges.append((value, formal, 1.0))

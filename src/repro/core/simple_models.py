@@ -19,6 +19,10 @@ from .trident import Trident
 
 MODEL_NAMES = ("trident", "fs+fc", "fs")
 
+#: Everything create_model accepts (the three TRIDENT variants plus the
+#: PVF/ePVF baselines of Fig. 9).
+ALL_MODEL_NAMES = MODEL_NAMES + ("pvf", "epvf")
+
 
 def build_model(name: str, module: Module,
                 profile: ProgramProfile) -> Trident:
@@ -30,6 +34,59 @@ def build_model(name: str, module: Module,
     if name in ("fs", "fs_only"):
         return Trident(module, profile, fs_only_config())
     raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+
+
+def create_model(name: str, module: Module, profile: ProgramProfile, *,
+                 config=None, warm: bool = True, extra=None,
+                 measured_crash_probability: float | None = None,
+                 shared: bool | None = None):
+    """The one factory every harness and report builds models through.
+
+    * ``config`` overrides the name-derived config (ablation studies).
+    * ``warm=True`` binds the model to the artifact cache
+      (:func:`repro.cache.bind_model_results`) so whole-module results
+      persist and reload across runs.
+    * ``shared`` controls query-store sharing; it defaults to ``warm``
+      so that cold-timing measurements (``warm=False``) also get an
+      isolated query engine and honestly recompute everything.
+    * ``measured_crash_probability`` is forwarded to ePVF (and folded
+      into its store salt / cache key).
+    """
+    from ..cache import bind_model_results, get_cache
+
+    if shared is None:
+        shared = warm
+    lowered = name.lower()
+    if lowered == "trident":
+        model = Trident(module, profile, config or trident_config(),
+                        shared_queries=shared)
+    elif lowered in ("fs+fc", "fs_fc"):
+        model = Trident(module, profile, config or fs_fc_config(),
+                        shared_queries=shared)
+    elif lowered in ("fs", "fs_only"):
+        model = Trident(module, profile, config or fs_only_config(),
+                        shared_queries=shared)
+    elif lowered == "pvf":
+        from ..baselines.pvf import PvfModel
+
+        model = PvfModel(module, profile, config, shared_queries=shared)
+    elif lowered == "epvf":
+        from ..baselines.epvf import EpvfModel
+
+        model = EpvfModel(
+            module, profile, config,
+            measured_crash_probability=measured_crash_probability,
+            shared_queries=shared,
+        )
+    else:
+        raise ValueError(
+            f"unknown model {name!r}; expected one of {ALL_MODEL_NAMES}"
+        )
+    if warm:
+        if lowered == "epvf" and extra is None:
+            extra = measured_crash_probability
+        bind_model_results(get_cache(), model, lowered, extra)
+    return model
 
 
 def build_all_models(module: Module,

@@ -41,23 +41,38 @@ from .weighting import ExecutionWeigher
 
 
 class Trident:
-    """The model: built from a module and one profiled execution."""
+    """The model: built from a module and one profiled execution.
+
+    All analyses run through a :class:`~repro.query.QueryEngine`.  With
+    ``shared_queries=True`` (default) the engine memoizes per-function
+    results in process-wide content-addressed stores — a model over a
+    transformed module recomputes only the mutated functions' queries.
+    ``shared_queries=False`` isolates the engine (honest cold-build
+    timings, e.g. the fig6 inference-cost measurements).
+    """
 
     def __init__(self, module: Module, profile: ProgramProfile,
-                 config: TridentConfig | None = None):
+                 config: TridentConfig | None = None, *,
+                 shared_queries: bool = True):
+        from ..query.engine import QueryEngine
+
         if not module.is_finalized:
             raise ValueError("finalize the module before modeling")
         self.module = module
         self.profile = profile
         self.config = config or trident_config()
-        self.tuples = TupleDeriver(profile, self.config)
-        self.propagator = ForwardPropagator(module, self.tuples, self.config)
+        self.queries = QueryEngine(module, profile, self.config,
+                                   shared=shared_queries)
+        self.tuples = TupleDeriver(profile, self.config, self.queries)
+        self.propagator = ForwardPropagator(module, self.tuples, self.config,
+                                            self.queries)
         self.fs = StaticSubModel(self.tuples)
-        self.fc = ControlFlowSubModel(module, profile, self.config)
-        self.weigher = ExecutionWeigher(module, profile)
+        self.fc = ControlFlowSubModel(module, profile, self.config,
+                                      self.queries)
+        self.weigher = ExecutionWeigher(module, profile, self.queries)
         self.fm = MemorySubModel(
             module, profile, self.config, self.fc, self.propagator,
-            self.weigher,
+            self.weigher, engine=self.queries,
         )
         self._sdc_cache: dict[int, float] = {}
         #: Optional persistence hook (see repro.cache.bind_model_results):
@@ -118,6 +133,7 @@ class Trident:
                 and len(self._sdc_cache) > self._flushed_results):
             self.result_sink(dict(self._sdc_cache))
             self._flushed_results = len(self._sdc_cache)
+        self.queries.flush()
 
     # ------------------------------------------------------------------
     # Per-instruction prediction
@@ -129,16 +145,41 @@ class Trident:
         if cached is not None:
             return cached
         started = time.perf_counter()
-        probability = self._compute_sdc(iid)
+        probability = self._query_sdc(iid)
         self.inference_seconds += time.perf_counter() - started
         self._sdc_cache[iid] = probability
         return probability
 
+    def _query_sdc(self, iid: int) -> float:
+        """instruction_sdc via the persisted ``model.sdc`` query store."""
+        from ..query.engine import MISS
+
+        engine = self.queries
+        site = engine.index.to_local.get(iid)
+        if site is None:
+            return self._compute_sdc(iid)
+        home, local = site
+        view = engine.view("model.sdc", home)
+        stored = view.get(local)
+        if stored is not MISS:
+            return stored
+        probability = self._compute_sdc(iid)
+        return view.put(
+            local, probability,
+            engine.deps_for(self._scratch_deps, exclude=home),
+        )
+
     def _compute_sdc(self, iid: int) -> float:
+        from ..query.engine import CALLGRAPH_DEP
+
         inst = self.module.instruction(iid)
+        self._scratch_deps: set = set()
         if not inst.has_result:
             return 0.0
         result = self.propagator.propagate(inst)
+        self._scratch_deps |= result.functions
+        if result.callgraph:
+            self._scratch_deps.add(CALLGRAPH_DEP)
         survive = 1.0  # union-combine the terminal events
         for event in result.events:
             contribution = self._event_contribution(inst, event)
@@ -161,7 +202,9 @@ class Trident:
         if event.kind == EV_STORE:
             assert isinstance(terminal, Store)
             if self.config.enable_memory:
-                return alive * self.fm.propagate_store(terminal)
+                probability = alive * self.fm.propagate_store(terminal)
+                self._scratch_deps |= self.fm.result_deps(terminal.iid)
+                return probability
             # Simpler models: an error reaching a store is an SDC.
             return alive
         if event.kind == EV_BRANCH:
@@ -172,6 +215,7 @@ class Trident:
             for store, pc in self.fc.corrupted_stores(terminal):
                 if self.config.enable_memory:
                     contribution += pc * self.fm.propagate_store(store)
+                    self._scratch_deps |= self.fm.result_deps(store.iid)
                 else:
                     contribution += pc
             return alive * min(1.0, contribution)

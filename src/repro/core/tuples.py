@@ -63,6 +63,19 @@ class PropTuple:
 IDENTITY = PropTuple(1.0, 0.0, 0.0)
 
 
+def _same_operand(a, b) -> bool:
+    """Operand identity modulo constant interning.
+
+    The builder reuses one :class:`Constant` object across a min/max
+    cluster while the parser mints a fresh one per occurrence; matching
+    equal constants keeps cluster detection — and therefore the model's
+    numbers — invariant under a textual round trip.
+    """
+    from ..ir.values import Constant
+
+    return a is b or (isinstance(a, Constant) and a == b)
+
+
 def minmax_cmp_of_select(select: Select):
     """The comparison of a min/max-shaped select, or None.
 
@@ -72,9 +85,12 @@ def minmax_cmp_of_select(select: Select):
     cond = select.cond
     if not isinstance(cond, (ICmp, FCmp)):
         return None
-    cmp_operands = {id(cond.lhs), id(cond.rhs)}
-    arms = {id(select.true_value), id(select.false_value)}
-    if cmp_operands != arms:
+    true_arm, false_arm = select.true_value, select.false_value
+    straight = (_same_operand(cond.lhs, true_arm)
+                and _same_operand(cond.rhs, false_arm))
+    swapped = (_same_operand(cond.lhs, false_arm)
+               and _same_operand(cond.rhs, true_arm))
+    if not (straight or swapped):
         return None
     return cond
 
@@ -125,11 +141,21 @@ def _evaluate(inst: Instruction, operands: list):
 
 
 class TupleDeriver:
-    """Derives and caches propagation tuples for one profiled program."""
+    """Derives and caches propagation tuples for one profiled program.
 
-    def __init__(self, profile, config: TridentConfig):
+    With a :class:`~repro.query.QueryEngine` attached, derived tuples
+    additionally live in the shared ``model.tuples`` query store keyed
+    on (local index, operand index) per function content — so a rebuilt
+    or transformed module re-derives tuples only for functions whose
+    code or profile slice actually changed.
+    """
+
+    QUERY = "model.tuples"
+
+    def __init__(self, profile, config: TridentConfig, engine=None):
         self.profile = profile
         self.config = config
+        self.engine = engine
         self._cache: dict[tuple[int, int], PropTuple] = {}
 
     def tuple_for(self, inst: Instruction, operand_index: int) -> PropTuple:
@@ -137,9 +163,22 @@ class TupleDeriver:
         key = (inst.iid, operand_index)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._derive(inst, operand_index)
+            cached = self._query(inst, operand_index)
             self._cache[key] = cached
         return cached
+
+    def _query(self, inst: Instruction, operand_index: int) -> PropTuple:
+        engine = self.engine
+        if engine is None:
+            return self._derive(inst, operand_index)
+        from ..query.engine import MISS
+        home, local = engine.index.local(inst.iid)
+        view = engine.view(self.QUERY, home)
+        stored = view.get((local, operand_index))
+        if stored is not MISS:
+            return stored
+        return view.put((local, operand_index),
+                        self._derive(inst, operand_index))
 
     # ------------------------------------------------------------------
 
@@ -289,9 +328,9 @@ class TupleDeriver:
         if not samples:
             return None
         samples = samples[: self.config.tuple_samples]
-        true_is_lhs = inst.true_value is cmp.lhs
+        true_is_lhs = _same_operand(inst.true_value, cmp.lhs)
         corrupted_arm = inst.operands[operand_index]
-        position = 0 if corrupted_arm is cmp.lhs else 1
+        position = 0 if _same_operand(corrupted_arm, cmp.lhs) else 1
         operand_type = corrupted_arm.type
         bits = operand_type.bits
         is_float = isinstance(cmp, FCmp)

@@ -26,15 +26,42 @@ from ..profiling.profile import ProgramProfile
 
 
 class ExecutionWeigher:
-    """Divergence weighting over the module's shared post-dominator sets."""
+    """Divergence weighting over the module's shared post-dominator sets.
 
-    def __init__(self, module: Module, profile: ProgramProfile):
+    With a query engine, weights live in the per-function
+    ``model.weighting`` store keyed on (origin local, symbolized
+    terminal); a cross-function pair records the terminal's home as an
+    entry dependency (the weight reads its execution counts).
+    """
+
+    QUERY = "model.weighting"
+
+    def __init__(self, module: Module, profile: ProgramProfile, engine=None):
         self.module = module
         self.profile = profile
+        self.engine = engine
         self._analyses = analysis_manager_for(module)
 
     def weight(self, origin: Instruction, terminal: Instruction) -> float:
         """P(terminal executes | origin executed), in [0, 1]."""
+        engine = self.engine
+        if engine is None:
+            return self._weight(origin, terminal)
+        from ..query.engine import MISS
+
+        home, origin_local = engine.index.local(origin.iid)
+        terminal_ref = engine.index.symbolize(terminal.iid, home)
+        view = engine.view(self.QUERY, home)
+        key = (origin_local, terminal_ref)
+        stored = view.get(key)
+        if stored is not MISS:
+            return stored
+        deps = None
+        if not isinstance(terminal_ref, int):
+            deps = engine.deps_for((terminal_ref[0],), exclude=home)
+        return view.put(key, self._weight(origin, terminal), deps)
+
+    def _weight(self, origin: Instruction, terminal: Instruction) -> float:
         origin_function = origin.parent.parent
         terminal_function = terminal.parent.parent
         if origin_function is terminal_function:
@@ -44,4 +71,6 @@ class ExecutionWeigher:
         return self.profile.execution_probability(terminal.iid, origin.iid)
 
     def _postdoms_of(self, function) -> dict:
+        if self.engine is not None:
+            return self.engine.cfg("postdominators", function)
         return self._analyses.postdominators(function)

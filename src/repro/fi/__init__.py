@@ -4,11 +4,11 @@ from .campaign import (
     BENIGN,
     CAUGHT,
     CRASHED,
-    CampaignResult,
-    FaultInjector,
     HUNG,
     OUTCOMES,
     SDC,
+    CampaignResult,
+    FaultInjector,
 )
 from .parallel import (
     CampaignSettings,

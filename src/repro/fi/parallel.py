@@ -47,7 +47,7 @@ from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..stats.confidence import Z_95, wilson_confidence
-from .campaign import CampaignResult, FaultInjector, SDC
+from .campaign import SDC, CampaignResult, FaultInjector
 
 
 @dataclass(frozen=True)

@@ -1,14 +1,14 @@
 """Experiment harness: one runner per table/figure of the evaluation."""
 
 from .ablations import AblationResult, run_ablations
-from .context import BenchmarkContext, ExperimentConfig, QUICK, Workspace
+from .context import QUICK, BenchmarkContext, ExperimentConfig, Workspace
 from .fig5 import Fig5Result, run_fig5
-from .inputs import InputSensitivityResult, run_input_sensitivity
-from .optlevels import OptLevelResult, run_optlevels
 from .fig6 import Fig6Result, run_fig6
 from .fig7 import Fig7Result, run_fig7
-from .fig8 import Fig8Result, OVERHEAD_LEVELS, run_fig8
+from .fig8 import OVERHEAD_LEVELS, Fig8Result, run_fig8
 from .fig9 import Fig9Result, run_fig9
+from .inputs import InputSensitivityResult, run_input_sensitivity
+from .optlevels import OptLevelResult, run_optlevels
 from .report import format_table, percent
 from .runner import EXPERIMENTS, EvaluationReport, run_all, run_experiment
 from .table1 import Table1Result, run_table1

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.config import TridentConfig, trident_config
-from ..core.trident import Trident
+from ..core.simple_models import create_model
 from ..stats import mean_absolute_error
 from .context import Workspace
 from .report import format_table, percent
@@ -82,11 +82,13 @@ def run_ablations(workspace: Workspace) -> AblationResult:
         fi_sdc[ctx.name] = campaign.sdc_probability
         fi_crash[ctx.name] = campaign.crash_probability
         for variant, variant_config in ABLATIONS.items():
-            model = Trident(ctx.module, ctx.profile, variant_config)
+            model = create_model("trident", ctx.module, ctx.profile,
+                                 config=variant_config,
+                                 extra=variant)
             predictions[variant][ctx.name] = model.overall_sdc(
                 samples=config.model_samples, seed=config.seed
             )
-        crash_model = Trident(ctx.module, ctx.profile)
+        crash_model = create_model("trident", ctx.module, ctx.profile)
         crash_predictions[ctx.name] = crash_model.overall_crash(
             samples=config.model_samples, seed=config.seed
         )

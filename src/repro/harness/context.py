@@ -14,7 +14,6 @@ from functools import cached_property
 from ..bench.registry import BENCHMARK_NAMES, build_module, get_benchmark
 from ..cache import (
     GoldenSummary,
-    bind_model_results,
     get_cache,
     golden_key,
     load_cached_profile,
@@ -24,7 +23,7 @@ from ..cache import (
     store_cached_profile,
     store_golden_summary,
 )
-from ..core.simple_models import build_model
+from ..core.simple_models import create_model
 from ..core.trident import Trident
 from ..fi.campaign import CampaignResult, FaultInjector
 from ..fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
@@ -124,14 +123,12 @@ class BenchmarkContext:
         """A freshly-built model over the cached profile.
 
         With ``warm`` (the default) the model's per-instruction results
-        are restored from — and persisted back to — the artifact cache;
-        fig6's timing sweeps pass ``warm=False`` to measure true cold
-        inference cost.
+        are restored from — and persisted back to — the artifact cache
+        and its query engine shares the process-wide per-function
+        stores; fig6's timing sweeps pass ``warm=False`` to measure true
+        cold inference cost on an isolated engine.
         """
-        model = build_model(name, self.module, self.profile)
-        if warm:
-            bind_model_results(get_cache(), model, name)
-        return model
+        return create_model(name, self.module, self.profile, warm=warm)
 
     def fi_campaign(self, runs: int | None = None,
                     seed: int | None = None) -> CampaignResult:

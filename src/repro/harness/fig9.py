@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..baselines import EpvfModel, PvfModel
-from ..cache import bind_model_results, get_cache
+from ..core.simple_models import create_model
 from ..stats import mean_absolute_error
 from .context import Workspace
 from .report import format_table, percent
@@ -61,17 +60,14 @@ def run_fig9(workspace: Workspace) -> Fig9Result:
         # the FI-measured crash probability (Sec. VII-C).  The measured
         # probability is a model input from outside the config, so it
         # joins the cache key as ``extra``.
-        epvf_model = EpvfModel(
-            ctx.module, ctx.profile,
+        epvf_model = create_model(
+            "epvf", ctx.module, ctx.profile,
             measured_crash_probability=campaign.crash_probability,
         )
-        bind_model_results(get_cache(), epvf_model, "epvf",
-                           extra=campaign.crash_probability)
         epvf = epvf_model.overall(
             samples=config.model_samples, seed=config.seed
         )
-        pvf_model = PvfModel(ctx.module, ctx.profile)
-        bind_model_results(get_cache(), pvf_model, "pvf")
+        pvf_model = create_model("pvf", ctx.module, ctx.profile)
         pvf = pvf_model.overall(
             samples=config.model_samples, seed=config.seed
         )

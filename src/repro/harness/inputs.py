@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..bench.registry import build_module
-from ..core.trident import Trident
+from ..core.simple_models import create_model
 from ..fi.campaign import FaultInjector
 from ..fi.parallel import ModuleSpec, run_parallel_campaign
 from ..profiling.profiler import ProfilingInterpreter
@@ -94,7 +94,7 @@ def run_input_sensitivity(workspace: Workspace,
                 ci_halfwidth=config.fi_ci_halfwidth,
             )
             fi_values.append(campaign.sdc_probability)
-            model = Trident(module, profile)
+            model = create_model("trident", module, profile)
             model_values.append(model.overall_sdc(
                 samples=config.model_samples, seed=config.seed
             ))

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.trident import Trident
+from ..core.simple_models import create_model
 from ..fi.campaign import FaultInjector
 from ..opt.pipeline import optimize
 from ..profiling.profiler import ProfilingInterpreter
@@ -88,7 +88,7 @@ def run_optlevels(workspace: Workspace) -> OptLevelResult:
             dynamic_counts[level] = injector.golden.dynamic_count
             campaign = injector.campaign(config.fi_samples, seed=config.seed)
             fi_sdc[level] = campaign.sdc_probability
-            model = Trident(module, profile)
+            model = create_model("trident", module, profile)
             model_sdc[level] = model.overall_sdc(
                 samples=config.model_samples, seed=config.seed
             )

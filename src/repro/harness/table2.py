@@ -13,8 +13,8 @@ import random
 from dataclasses import dataclass
 
 from ..core.simple_models import MODEL_NAMES
-from .context import Workspace
 from ..stats import paired_t_test
+from .context import Workspace
 from .report import format_table
 
 

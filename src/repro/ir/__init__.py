@@ -32,16 +32,16 @@ from .printer import format_instruction, print_function, print_module
 from .types import (
     F32,
     F64,
-    FloatType,
     I1,
-    I8,
     I16,
     I32,
     I64,
+    I8,
+    VOID,
+    FloatType,
     IntType,
     PointerType,
     Type,
-    VOID,
     parse_type,
     pointer_to,
 )

@@ -24,7 +24,7 @@ from .instructions import (
     Select,
     Store,
 )
-from .types import Type, VOID
+from .types import VOID, Type
 from .values import Constant, Value
 
 

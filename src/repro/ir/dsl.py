@@ -13,15 +13,7 @@ from __future__ import annotations
 from .builder import IRBuilder
 from .function import Function
 from .module import Module
-from .types import (
-    F64,
-    FloatType,
-    I1,
-    I32,
-    IntType,
-    Type,
-    VOID,
-)
+from .types import F64, I1, I32, VOID, FloatType, IntType, Type
 from .values import Constant, Value
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .basicblock import BasicBlock
 from .instructions import Instruction
-from .types import Type, VOID
+from .types import VOID, Type
 from .values import Argument
 
 

@@ -13,7 +13,7 @@ it to each operand's ``users`` list.
 
 from __future__ import annotations
 
-from .types import I1, PointerType, Type, VOID
+from .types import I1, VOID, PointerType, Type
 from .values import Value
 
 

@@ -12,19 +12,19 @@ import re
 from .basicblock import BasicBlock
 from .function import Function
 from .instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCMP_PREDICATES,
+    ICMP_PREDICATES,
     Alloca,
     BinOp,
     Branch,
     Call,
     Cast,
-    CAST_OPS,
     Detect,
     FCmp,
-    FCMP_PREDICATES,
     GetElementPtr,
     ICmp,
-    ICMP_PREDICATES,
-    BINARY_OPS,
     Load,
     Output,
     Phi,

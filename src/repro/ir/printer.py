@@ -45,31 +45,35 @@ def _ref(value: Value) -> str:
     raise TypeError(f"cannot print operand {value!r}")
 
 
-def _operand(value: Value) -> str:
-    return f"{value.type} {_ref(value)}"
+def format_instruction(inst: Instruction, ref=_ref) -> str:
+    """One-line textual form of an instruction (without indentation).
 
+    ``ref`` maps a value to its printed reference; the default prints
+    instructions by module-wide iid (the parseable form), while
+    :func:`canonical_function_text` substitutes function-local numbering.
+    """
+    def _operand(value: Value) -> str:
+        return f"{value.type} {ref(value)}"
 
-def format_instruction(inst: Instruction) -> str:
-    """One-line textual form of an instruction (without indentation)."""
     if isinstance(inst, BinOp):
-        return (f"%{inst.iid} = {inst.op} {_operand(inst.lhs)}, "
+        return (f"{ref(inst)} = {inst.op} {_operand(inst.lhs)}, "
                 f"{_operand(inst.rhs)}")
     if isinstance(inst, ICmp):
-        return (f"%{inst.iid} = icmp {inst.predicate} {_operand(inst.lhs)}, "
+        return (f"{ref(inst)} = icmp {inst.predicate} {_operand(inst.lhs)}, "
                 f"{_operand(inst.rhs)}")
     if isinstance(inst, FCmp):
-        return (f"%{inst.iid} = fcmp {inst.predicate} {_operand(inst.lhs)}, "
+        return (f"{ref(inst)} = fcmp {inst.predicate} {_operand(inst.lhs)}, "
                 f"{_operand(inst.rhs)}")
     if isinstance(inst, Cast):
-        return f"%{inst.iid} = {inst.op} {_operand(inst.value)} to {inst.type}"
+        return f"{ref(inst)} = {inst.op} {_operand(inst.value)} to {inst.type}"
     if isinstance(inst, Alloca):
-        return f"%{inst.iid} = alloca {inst.elem_type} x {inst.count}"
+        return f"{ref(inst)} = alloca {inst.elem_type} x {inst.count}"
     if isinstance(inst, Load):
-        return f"%{inst.iid} = load {_operand(inst.pointer)}"
+        return f"{ref(inst)} = load {_operand(inst.pointer)}"
     if isinstance(inst, Store):
         return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
     if isinstance(inst, GetElementPtr):
-        return (f"%{inst.iid} = gep {_operand(inst.base)}, "
+        return (f"{ref(inst)} = gep {_operand(inst.base)}, "
                 f"{_operand(inst.index)}")
     if isinstance(inst, Branch):
         if not inst.is_conditional:
@@ -82,34 +86,60 @@ def format_instruction(inst: Instruction) -> str:
         return f"ret {_operand(inst.value)}"
     if isinstance(inst, Call):
         args = ", ".join(_operand(a) for a in inst.args)
-        prefix = f"%{inst.iid} = " if inst.has_result else ""
+        prefix = f"{ref(inst)} = " if inst.has_result else ""
         return f"{prefix}call @{inst.callee}({args}) : {inst.type}"
     if isinstance(inst, Output):
         suffix = f" prec {inst.precision}" if inst.precision is not None else ""
         return f"output {_operand(inst.value)}{suffix}"
     if isinstance(inst, Select):
-        return (f"%{inst.iid} = select {_operand(inst.cond)}, "
+        return (f"{ref(inst)} = select {_operand(inst.cond)}, "
                 f"{_operand(inst.true_value)}, {_operand(inst.false_value)}")
     if isinstance(inst, Phi):
         arms = ", ".join(
-            f"[ {_ref(value)}, %{block.name} ]"
+            f"[ {ref(value)}, %{block.name} ]"
             for value, block in inst.incoming
         )
-        return f"%{inst.iid} = phi {inst.type} {arms}"
+        return f"{ref(inst)} = phi {inst.type} {arms}"
     if isinstance(inst, Detect):
         return f"detect {_operand(inst.original)}, {_operand(inst.duplicate)}"
     raise TypeError(f"cannot print instruction {inst!r}")
 
 
-def print_function(function: Function) -> str:
+def _function_lines(function: Function, ref) -> str:
     args = ", ".join(f"{a.type} %a{a.index}" for a in function.args)
     lines = [f"func @{function.name}({args}) : {function.return_type} {{"]
     for block in function.blocks:
         lines.append(f"{block.name}:")
         for inst in block.instructions:
-            lines.append(f"  {format_instruction(inst)}")
+            lines.append(f"  {format_instruction(inst, ref)}")
     lines.append("}")
     return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    return _function_lines(function, _ref)
+
+
+def canonical_function_text(function: Function) -> str:
+    """The function printed with function-local value numbering.
+
+    Module-wide iids shift whenever an *earlier* function gains or loses
+    an instruction, so the parseable form is useless as a per-function
+    content address.  This form numbers instruction references
+    ``%L0, %L1, ...`` in block order instead: the text (and its hash) is
+    invariant under module-wide renumbering and changes exactly when the
+    function's own structure does.
+    """
+    local: dict[int, int] = {}
+    for position, inst in enumerate(function.instructions()):
+        local[id(inst)] = position
+
+    def ref(value: Value) -> str:
+        if isinstance(value, Instruction):
+            return f"%L{local[id(value)]}"
+        return _ref(value)
+
+    return _function_lines(function, ref)
 
 
 def print_module(module: Module) -> str:

@@ -7,7 +7,7 @@ Instructions are also values (they produce a result); they live in
 from __future__ import annotations
 
 from .bitutils import truncate_float, wrap_unsigned
-from .types import F64, FloatType, I32, IntType, PointerType, Type
+from .types import F64, I32, FloatType, IntType, PointerType, Type
 
 
 class Value:

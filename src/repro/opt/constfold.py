@@ -12,8 +12,8 @@ from ..interp.errors import ArithmeticTrap
 from ..interp.ops import (
     eval_cast,
     eval_fcmp,
-    eval_icmp,
     eval_float_binop,
+    eval_icmp,
     eval_int_binop,
 )
 from ..ir.function import Function

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cache.manager import CFG_SHAPE_ANALYSES, notify_transform
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
@@ -36,12 +37,44 @@ class OptimizationReport:
     before_instructions: int = 0
     after_instructions: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Functions at least one pass actually changed; everything else
+    #: keeps its fingerprint, so its queries survive the transform.
+    touched_functions: set[str] = field(default_factory=set)
 
     @property
     def shrink_fraction(self) -> float:
         if self.before_instructions == 0:
             return 0.0
         return 1.0 - self.after_instructions / self.before_instructions
+
+
+#: Each pass with the analyses it preserves on the functions it touches
+#: and the report counter it feeds.  Constant folding, DCE and mem2reg
+#: rewrite straight-line instructions only (mem2reg's phis included), so
+#: block shape — and every CFG-shape analysis — survives; simplifycfg
+#: rewrites the graph itself and preserves nothing.
+_PASSES = (
+    (fold_constants, CFG_SHAPE_ANALYSES, "constants_folded"),
+    (simplify_cfg, (), "cfg_rewrites"),
+    (eliminate_dead_code, CFG_SHAPE_ANALYSES, "instructions_removed"),
+)
+_LEVEL2_PASSES = (
+    (promote_to_registers, CFG_SHAPE_ANALYSES, "slots_promoted"),
+) + _PASSES
+
+
+def _run_passes(clone: Module, report: OptimizationReport, passes) -> None:
+    """One pass sequence over every function, declaring each transform."""
+    for pass_fn, preserved, counter in passes:
+        touched = set()
+        for function in clone.functions.values():
+            changed = pass_fn(function)
+            if changed:
+                touched.add(function.name)
+            setattr(report, counter, getattr(report, counter) + changed)
+        if touched:
+            notify_transform(clone, touched, preserved)
+            report.touched_functions |= touched
 
 
 def optimize(module: Module, level: int = 2) -> tuple[Module, OptimizationReport]:
@@ -55,16 +88,9 @@ def optimize(module: Module, level: int = 2) -> tuple[Module, OptimizationReport
         report.after_instructions = clone.num_instructions
         return clone, report
 
-    for function in clone.functions.values():
-        report.constants_folded += fold_constants(function)
-        report.cfg_rewrites += simplify_cfg(function)
-        report.instructions_removed += eliminate_dead_code(function)
+    _run_passes(clone, report, _PASSES)
     if level >= 2:
-        for function in clone.functions.values():
-            report.slots_promoted += promote_to_registers(function)
-            report.constants_folded += fold_constants(function)
-            report.cfg_rewrites += simplify_cfg(function)
-            report.instructions_removed += eliminate_dead_code(function)
+        _run_passes(clone, report, _LEVEL2_PASSES)
     clone.finalize()
     report.after_instructions = clone.num_instructions
     return clone, report

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 import time
+from hashlib import blake2b
 
 from ..interp.errors import InterpreterBug, RuntimeFault
 from ..interp.intrinsics import call_intrinsic, is_intrinsic
@@ -58,6 +59,27 @@ from .profile import ProgramProfile
 _MASK64 = mask(64)
 _ADDRESS_BITS = 64
 
+#: Domain separation for per-site sampling substreams (<=16 bytes).
+_SITE_PERSON = b"repro-prof-site"
+
+
+def _site_seed(seed: int, function_name: str, local_index: int) -> int:
+    """Deterministic sub-seed for one instruction site.
+
+    Sampling used to draw from one shared RNG stream, so inserting an
+    instruction *anywhere* perturbed the reservoirs of every later
+    instruction in the run.  Keying each site's stream on its
+    (function, local position) — never the module-wide iid — makes the
+    sampled slices of untouched functions bit-identical across
+    transforms, the property function-granular profile digests need.
+    Same substream protocol as :mod:`repro.fi.seeds`.
+    """
+    digest = blake2b(
+        f"{seed}:{function_name}:{local_index}".encode(),
+        digest_size=8, person=_SITE_PERSON,
+    ).digest()
+    return int.from_bytes(digest, "big")
+
 
 class ProfilingInterpreter:
     """Runs a module once and produces a :class:`ProgramProfile`."""
@@ -69,8 +91,14 @@ class ProfilingInterpreter:
         self.module = module
         self.sample_cap = sample_cap
         self.max_dynamic = max_dynamic
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.layout = GlobalLayout(module)
+        #: iid -> (function name, function-local index): the stable site
+        #: identity each sampling substream is keyed on.
+        self.sites: dict[int, tuple[str, int]] = {}
+        for function in module.functions.values():
+            for local, inst in enumerate(function.instructions()):
+                self.sites[inst.iid] = (function.name, local)
 
     # ------------------------------------------------------------------
 
@@ -83,7 +111,8 @@ class ProfilingInterpreter:
         # addr -> [store_iid, set-of-reader-load-iids]
         last_writer: dict[int, list] = {}
         state = _ProfState(profile, memory, outputs, last_writer,
-                           self.rng, self.sample_cap, self.max_dynamic)
+                           self.seed, self.sites, self.sample_cap,
+                           self.max_dynamic)
         try:
             self._call(self.module.main, [], state)
         except RuntimeFault as fault:
@@ -256,21 +285,33 @@ class _ProfState:
     """Mutable state threaded through the profiling walk."""
 
     __slots__ = (
-        "profile", "memory", "outputs", "last_writer", "rng", "sample_cap",
-        "max_dynamic", "dynamic_count", "dynamic_deps",
+        "profile", "memory", "outputs", "last_writer", "seed", "sites",
+        "sample_cap", "max_dynamic", "dynamic_count", "dynamic_deps",
+        "_rngs",
     )
 
-    def __init__(self, profile, memory, outputs, last_writer, rng,
-                 sample_cap, max_dynamic):
+    def __init__(self, profile, memory, outputs, last_writer, seed,
+                 sites, sample_cap, max_dynamic):
         self.profile = profile
         self.memory = memory
         self.outputs = outputs
         self.last_writer = last_writer
-        self.rng = rng
+        self.seed = seed
+        self.sites = sites
         self.sample_cap = sample_cap
         self.max_dynamic = max_dynamic
         self.dynamic_count = 0
         self.dynamic_deps = 0
+        self._rngs: dict[int, random.Random] = {}
+
+    def rng_for(self, iid: int) -> random.Random:
+        """This instruction site's private sampling substream."""
+        rng = self._rngs.get(iid)
+        if rng is None:
+            name, local = self.sites[iid]
+            rng = random.Random(_site_seed(self.seed, name, local))
+            self._rngs[iid] = rng
+        return rng
 
     def tick(self, iid: int) -> None:
         self.dynamic_count += 1
@@ -286,7 +327,7 @@ class _ProfState:
         if len(reservoir) < self.sample_cap:
             reservoir.append(operands)
             return
-        slot = self.rng.randrange(seen)
+        slot = self.rng_for(iid).randrange(seen)
         if slot < self.sample_cap:
             reservoir[slot] = operands
 
@@ -295,7 +336,7 @@ class _ProfState:
         reservoir = self.profile.crash_prob_samples.setdefault(iid, [])
         seen = self.profile.inst_counts[iid]
         if len(reservoir) >= self.sample_cap:
-            slot = self.rng.randrange(seen)
+            slot = self.rng_for(iid).randrange(seen)
             if slot >= self.sample_cap:
                 return
         else:

@@ -14,8 +14,9 @@ round-trip), so the original stays untouched for baseline comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..cache.manager import CFG_SHAPE_ANALYSES, notify_transform
 from ..ir.instructions import (
     BinOp,
     Cast,
@@ -54,6 +55,12 @@ class DuplicationReport:
     duplicated: int
     checks_inserted: int
     checks_merged: int
+    #: Functions that received clones/checks; all other functions keep
+    #: their fingerprints, so their model queries survive the pass.
+    touched_functions: set[str] = field(default_factory=set)
+    #: Clones and checks are straight-line insertions — block shape is
+    #: untouched, so every CFG-shape analysis stays valid.
+    preserved_analyses: tuple[str, ...] = CFG_SHAPE_ANALYSES
 
 
 def duplicate_instructions(module: Module,
@@ -98,12 +105,16 @@ def duplicate_instructions(module: Module,
         inst.parent.insert_after(clone, check)
         checks += 1
 
+    touched = {inst.parent.parent.name for inst in targets}
+    if touched:
+        notify_transform(protected_module, touched, CFG_SHAPE_ANALYSES)
     protected_module.finalize()
     report = DuplicationReport(
         protected_iids=protected_iids,
         duplicated=duplicated,
         checks_inserted=checks,
         checks_merged=merged,
+        touched_functions=touched,
     )
     return protected_module, report
 

@@ -10,16 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.trident import Trident
-from ..fi.campaign import CampaignResult, SDC
+from ..core.simple_models import create_model
+from ..fi.campaign import SDC, CampaignResult
 from ..ir.instructions import Instruction
 from ..ir.module import Module
 from ..ir.printer import format_instruction
 from ..profiling.profile import ProgramProfile
-from ..stats.confidence import wilson_confidence
 from ..protection.duplication import is_duplicable
 from ..protection.evaluate import duplication_cost, full_duplication_cost
 from ..protection.knapsack import KnapsackItem, knapsack_select
+from ..stats.confidence import wilson_confidence
 
 
 @dataclass
@@ -124,7 +124,7 @@ def generate_report(module: Module, profile: ProgramProfile,
     ``fi`` optionally attaches a measured FI campaign, rendered as a
     validation section with its wall-clock/runs-executed summary.
     """
-    model = Trident(module, profile)
+    model = create_model("trident", module, profile)
     overall = model.overall_sdc(samples=samples, seed=0)
     crash = model.overall_crash(samples=min(samples, 1000), seed=0)
 

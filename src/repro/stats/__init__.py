@@ -2,8 +2,8 @@
 intervals, and error summaries."""
 
 from .confidence import (
-    ConfidenceInterval,
     Z_95,
+    ConfidenceInterval,
     binomial_confidence,
     mean_absolute_error,
     samples_for_margin,

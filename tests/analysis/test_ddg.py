@@ -1,18 +1,14 @@
 """Def-use path enumeration (static data-dependent sequences)."""
 
 from repro.analysis import (
-    PathEnumerator,
     TERMINAL_BRANCH,
     TERMINAL_OUTPUT,
     TERMINAL_STORE,
+    PathEnumerator,
     paths_from_instruction,
     sequence_of,
 )
-from repro.ir import (
-    FunctionBuilder,
-    I32,
-    Module,
-)
+from repro.ir import I32, FunctionBuilder, Module
 from repro.ir.instructions import BinOp, ICmp, Load
 
 

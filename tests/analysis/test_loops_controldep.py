@@ -1,7 +1,14 @@
 """Natural loops, LT/NLT classification, and control dependence."""
 
 from repro.analysis import ControlDependence, LoopInfo, find_back_edges, find_natural_loops
-from repro.ir import Function, FunctionBuilder, I32, IRBuilder, Module, const_int
+from repro.ir import (
+    I32,
+    Function,
+    FunctionBuilder,
+    IRBuilder,
+    Module,
+    const_int,
+)
 from repro.ir.instructions import Branch, Store
 
 

@@ -21,7 +21,7 @@ from repro.cache import (
     store_model_results,
 )
 from repro.core.simple_models import build_model
-from repro.fi.campaign import CampaignResult, FaultInjector, OUTCOMES, SDC
+from repro.fi.campaign import OUTCOMES, SDC, CampaignResult, FaultInjector
 from repro.interp.engine import ExecutionEngine
 from repro.profiling.serialize import profile_to_dict
 from tests.conftest import cached_module, cached_profile

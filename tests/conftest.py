@@ -9,7 +9,7 @@ import pytest
 from repro.bench import BENCHMARK_NAMES, build_module
 from repro.cache import CACHE_DIR_ENV, configure_cache
 from repro.interp import ExecutionEngine
-from repro.ir import F64, FunctionBuilder, I32, Module
+from repro.ir import F64, I32, FunctionBuilder, Module
 from repro.profiling import ProfilingInterpreter
 
 

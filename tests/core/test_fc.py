@@ -5,7 +5,7 @@ branch profiles."""
 import pytest
 
 from repro.core import ControlFlowSubModel, trident_config
-from repro.ir import Function, I32, IRBuilder, Module, const_int
+from repro.ir import I32, Function, IRBuilder, Module, const_int
 from repro.ir.instructions import Branch, Store
 from repro.profiling import ProgramProfile
 

@@ -4,7 +4,7 @@ point output masking rule (the 48.66% example)."""
 import pytest
 
 from repro.core import Trident, output_masking_factor, trident_config
-from repro.ir import F32, F64, FunctionBuilder, I32, Module
+from repro.ir import F32, F64, I32, FunctionBuilder, Module
 from repro.ir.instructions import Output, Store
 from repro.profiling import ProfilingInterpreter
 

@@ -11,7 +11,7 @@ from repro.core.propagation import (
     EV_STORE,
     ForwardPropagator,
 )
-from repro.ir import FunctionBuilder, I32, Module
+from repro.ir import I32, FunctionBuilder, Module
 from repro.ir.instructions import BinOp, Load
 from repro.profiling import ProfilingInterpreter
 

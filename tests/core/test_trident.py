@@ -10,7 +10,7 @@ from repro.core import (
     fs_only_config,
     trident_config,
 )
-from repro.ir import FunctionBuilder, I32, F32, Module
+from repro.ir import F32, I32, FunctionBuilder, Module
 from repro.profiling import ProfilingInterpreter
 from tests.conftest import cached_module, cached_profile
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.weighting import ExecutionWeigher
-from repro.ir import FunctionBuilder, I32, Module
+from repro.ir import I32, FunctionBuilder, Module
 from repro.ir.instructions import BinOp, Output
 from repro.profiling import ProfilingInterpreter
 

@@ -7,14 +7,14 @@ import pytest
 from repro.fi import (
     BENIGN,
     CRASHED,
-    CampaignResult,
-    FaultInjector,
     OUTCOMES,
     SDC,
+    CampaignResult,
+    FaultInjector,
     run_parallel_campaign,
 )
+from repro.ir import I32, FunctionBuilder, Module
 from repro.stats import wilson_confidence
-from repro.ir import FunctionBuilder, I32, Module
 from tests.conftest import build_straightline_module, cached_module
 
 

@@ -9,11 +9,11 @@ chunking — these tests are the lock on that contract.
 import pytest
 
 from repro.fi import (
+    OUTCOMES,
+    SDC,
     FaultInjector,
     ModuleSpec,
-    OUTCOMES,
     ParallelCampaign,
-    SDC,
     run_parallel_campaign,
 )
 from repro.stats import wilson_confidence

@@ -1,10 +1,10 @@
 """Property tests: seed substream protocol and CampaignResult merge."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-import pytest
 
-from repro.fi import CampaignResult, OUTCOMES
+from repro.fi import OUTCOMES, CampaignResult
 from repro.fi.seeds import rng_for, seed_for
 
 #: Locked-in protocol constants: changing the derivation silently breaks

@@ -11,7 +11,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.interp import ExecutionEngine
-from repro.ir import FunctionBuilder, I32, Module
+from repro.ir import I32, FunctionBuilder, Module
 from repro.profiling import ProfilingInterpreter
 
 _INT_OPS = ("add", "sub", "mul", "and", "or", "xor")
@@ -94,7 +94,7 @@ def test_injection_terminates_and_classifies(spec, raw_seed):
     """Any single-bit fault yields exactly one defined outcome."""
     import random
 
-    from repro.fi import FaultInjector, OUTCOMES
+    from repro.fi import OUTCOMES, FaultInjector
 
     module = build_random_program(spec)
     injector = FaultInjector(module)

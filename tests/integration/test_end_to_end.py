@@ -7,15 +7,14 @@ qualitative result of the evaluation (Sec. V/VI/VII).
 import pytest
 
 from repro.baselines import EpvfModel, PvfModel
+#: The full Table I suite — MAE comparisons are only meaningful across
+#: all 11 programs (any subset can flip on a single outlier).
+from repro.bench import BENCHMARK_NAMES as NAMES
 from repro.core import build_all_models
 from repro.fi import FaultInjector
 from repro.protection import evaluate_protection
 from repro.stats import mean_absolute_error, paired_t_test
 from tests.conftest import cached_module, cached_profile
-
-#: The full Table I suite — MAE comparisons are only meaningful across
-#: all 11 programs (any subset can flip on a single outlier).
-from repro.bench import BENCHMARK_NAMES as NAMES
 
 
 @pytest.fixture(scope="module")

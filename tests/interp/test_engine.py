@@ -2,19 +2,8 @@
 
 import pytest
 
-from repro.interp import (
-    CRASH,
-    DETECTED,
-    ExecutionEngine,
-    HANG,
-    Injection,
-    OK,
-)
-from repro.ir import (
-    FunctionBuilder,
-    I32,
-    Module,
-)
+from repro.interp import CRASH, DETECTED, HANG, OK, ExecutionEngine, Injection
+from repro.ir import I32, FunctionBuilder, Module
 from repro.ir.instructions import BinOp, GetElementPtr, Load
 from tests.conftest import cached_module
 

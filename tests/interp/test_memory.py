@@ -4,7 +4,7 @@ import pytest
 
 from repro.interp.errors import MemoryFault
 from repro.interp.memory import GLOBAL_BASE, GlobalLayout, MemoryState
-from repro.ir import I32, F64, Module
+from repro.ir import F64, I32, Module
 
 
 def layout_with_globals() -> GlobalLayout:

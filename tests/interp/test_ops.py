@@ -16,7 +16,7 @@ from repro.interp.ops import (
     reinterpret_loaded,
 )
 from repro.ir.bitutils import from_signed, to_signed
-from repro.ir.types import F32, F64, I8, I32
+from repro.ir.types import F32, F64, I32, I8
 
 
 class TestIntBinop:

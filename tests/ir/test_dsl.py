@@ -7,7 +7,7 @@ Each test lowers a snippet and executes it, asserting on program output
 import pytest
 
 from repro.interp import ExecutionEngine
-from repro.ir import F32, F64, FunctionBuilder, I32, I64, Module
+from repro.ir import F32, F64, I32, I64, FunctionBuilder, Module
 
 
 def run_main(build):

@@ -3,25 +3,25 @@
 import pytest
 
 from repro.ir import (
+    F64,
+    I1,
+    I32,
+    I64,
+    VOID,
     Alloca,
     BinOp,
     Branch,
     Call,
     Cast,
     Detect,
-    F64,
     FCmp,
     GetElementPtr,
-    I1,
-    I32,
-    I64,
     ICmp,
     Load,
     Output,
     Ret,
     Select,
     Store,
-    VOID,
     const_float,
     const_int,
     pointer_to,

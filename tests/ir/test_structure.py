@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.ir import (
-    Function,
-    I32,
-    IRBuilder,
-    Module,
-    const_int,
-)
+from repro.ir import I32, Function, IRBuilder, Module, const_int
 from repro.ir.instructions import Ret
 
 

@@ -5,13 +5,13 @@ import pytest
 from repro.ir.types import (
     F32,
     F64,
-    FloatType,
     I1,
     I32,
     I64,
+    VOID,
+    FloatType,
     IntType,
     PointerType,
-    VOID,
     VoidType,
     parse_type,
     pointer_to,

@@ -4,8 +4,8 @@ import pytest
 
 from repro.ir import (
     F64,
-    Function,
     I32,
+    Function,
     IRBuilder,
     Module,
     VerificationError,

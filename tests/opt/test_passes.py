@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench import BENCHMARK_NAMES
 from repro.interp import ExecutionEngine
-from repro.ir import FunctionBuilder, I32, Module, parse_module, print_module
+from repro.ir import I32, FunctionBuilder, Module, parse_module, print_module
 from repro.ir.instructions import Alloca, Phi
 from repro.opt import (
     eliminate_dead_code,

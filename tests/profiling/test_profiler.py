@@ -3,7 +3,7 @@
 import pytest
 
 from repro.interp import ExecutionEngine
-from repro.ir import FunctionBuilder, I32, Module
+from repro.ir import I32, FunctionBuilder, Module
 from repro.ir.instructions import Branch, Store
 from repro.profiling import ProfilingInterpreter
 from tests.conftest import cached_module, cached_profile

@@ -1,0 +1,15 @@
+"""Fixtures for the query-pipeline suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import configure_cache
+
+
+@pytest.fixture
+def fresh_default_cache(tmp_path):
+    """Swap the process-wide artifact cache for an empty per-test one."""
+    cache = configure_cache(tmp_path / "default-cache")
+    yield cache
+    configure_cache(None)

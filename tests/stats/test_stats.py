@@ -4,9 +4,9 @@ import math
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
-
 import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.stats import (
     binomial_confidence,
