@@ -11,6 +11,11 @@ set the environment variables below for a fuller (slower) run:
     REPRO_FI_WORKERS=4          worker processes for FI campaigns
     REPRO_FI_CI_HALFWIDTH=0.01  stop campaigns at this Wilson 95% CI
                                 half-width on the SDC probability
+    REPRO_FI_CHECKPOINT=0       disable checkpoint-and-fork FI trials
+                                (default on; counts are identical)
+    REPRO_FI_CHECKPOINT_STRIDE=500
+                                dynamic instructions between golden
+                                snapshots (0 = auto)
     REPRO_CACHE_DIR=.repro-cache
                                 artifact-cache root (CI restores this
                                 across runs); unset = .repro-cache/
@@ -49,6 +54,13 @@ def _int_env(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
 
 
+def _flag_env(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 def harness_config() -> ExperimentConfig:
     halfwidth = os.environ.get("REPRO_FI_CI_HALFWIDTH")
     return ExperimentConfig(
@@ -61,6 +73,8 @@ def harness_config() -> ExperimentConfig:
         benchmarks=BENCHMARK_NAMES,
         fi_workers=_int_env("REPRO_FI_WORKERS", 1),
         fi_ci_halfwidth=float(halfwidth) if halfwidth else None,
+        fi_checkpoint=_flag_env("REPRO_FI_CHECKPOINT", True),
+        fi_checkpoint_stride=_int_env("REPRO_FI_CHECKPOINT_STRIDE", 0),
     )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Differential CI check for the query-based incremental pipeline.
+"""Differential CI checks for the caching and checkpointing layers.
 
-Two phases, mirroring the guarantees in ``tests/query``:
+Three phases, selectable with ``--only`` (default: all):
 
 1. **fig5 replay** — run fig5 against an empty artifact cache (cold),
    then again in the same process (warm).  The warm run must render
@@ -16,6 +16,12 @@ Two phases, mirroring the guarantees in ``tests/query``:
    queries of untouched functions must show zero misses, and the warm
    re-model must beat the cold rebuild by the re-model threshold.
 
+3. **fi-checkpoint** — run the same FI campaign cold (full runs) and
+   checkpointed (golden-prefix snapshots, suffix-only trials) on two
+   benchmarks with different outcome mixes.  Counts must be
+   bit-identical, trials must actually skip prefix work, and the
+   checkpointed campaign must hit the speedup threshold.
+
 Exits non-zero with a one-line reason on the first failed check.
 """
 
@@ -29,6 +35,7 @@ import time
 from repro.bench import build_module
 from repro.cache.disk import configure_cache
 from repro.core.simple_models import create_model
+from repro.fi import FaultInjector
 from repro.harness.context import QUICK, Workspace
 from repro.harness.fig5 import run_fig5
 from repro.profiling import ProfilingInterpreter
@@ -110,6 +117,45 @@ def one_function_edit(speedup: float) -> None:
     )
 
 
+def fi_checkpoint(speedup: float, runs: int) -> None:
+    """Cold vs checkpointed campaigns: identical counts, faster clock."""
+    speedups = []
+    for name in ("pathfinder", "hotspot"):
+        module = build_module(name, "test")
+        cold = FaultInjector(module, checkpoint=False)
+        started = time.perf_counter()
+        cold_result = cold.run_span(0, runs, 1)
+        cold_seconds = time.perf_counter() - started
+
+        warm = FaultInjector(module, checkpoint=True)
+        started = time.perf_counter()
+        warm_result = warm.run_span(0, runs, 1)
+        warm_seconds = time.perf_counter() - started
+
+        check(
+            warm_result.counts == cold_result.counts,
+            f"{name}: checkpointed counts bit-identical to cold runs",
+        )
+        check(
+            warm_result.checkpointed
+            and not warm_result.checkpoint_degraded,
+            f"{name}: campaign actually ran checkpointed",
+        )
+        check(
+            warm_result.skipped_instructions > 0,
+            f"{name}: trials skipped prefix work "
+            f"({warm_result.skipped_instructions:,} dynamic instructions)",
+        )
+        speedups.append(cold_seconds / warm_seconds)
+        print(f"   {name}: cold {cold_seconds:.2f}s, checkpointed "
+              f"{warm_seconds:.2f}s ({speedups[-1]:.2f}x)")
+    check(
+        max(speedups) >= speedup,
+        f"checkpointing is >={speedup:g}x faster on some benchmark "
+        f"(best {max(speedups):.2f}x)",
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -117,16 +163,28 @@ def main() -> None:
         help="artifact cache root (default: a fresh temp dir, so the "
              "cold half of the differential is actually cold)",
     )
+    parser.add_argument(
+        "--only", action="append",
+        choices=("fig5", "remodel", "fi-checkpoint"), default=None,
+        help="run only the named phase (repeatable; default: all)",
+    )
     parser.add_argument("--fig5-speedup", type=float, default=2.0)
     parser.add_argument("--remodel-speedup", type=float, default=2.0)
+    parser.add_argument("--fi-checkpoint-speedup", type=float, default=2.0)
+    parser.add_argument("--fi-checkpoint-runs", type=int, default=1000)
     args = parser.parse_args()
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-diff-")
     configure_cache(cache_dir)
     print(f"artifact cache: {cache_dir}")
 
-    fig5_replay(args.fig5_speedup)
-    one_function_edit(args.remodel_speedup)
+    phases = args.only or ["fig5", "remodel", "fi-checkpoint"]
+    if "fig5" in phases:
+        fig5_replay(args.fig5_speedup)
+    if "remodel" in phases:
+        one_function_edit(args.remodel_speedup)
+    if "fi-checkpoint" in phases:
+        fi_checkpoint(args.fi_checkpoint_speedup, args.fi_checkpoint_runs)
     print("differential check passed")
 
 

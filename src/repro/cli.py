@@ -133,6 +133,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--ci-halfwidth", type=float, default=None,
                             help="stop FI campaigns early at this Wilson "
                                  "95%% CI half-width on the SDC probability")
+    _add_checkpoint_args(experiment)
     return parser
 
 
@@ -146,6 +147,19 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                         help="stop early once the Wilson 95%% CI half-width "
                              "on the SDC probability is below this "
                              "(paper methodology: 0.01)")
+    _add_checkpoint_args(parser)
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="fork FI trials from golden-prefix snapshots "
+                             "(suffix-only execution; counts are identical "
+                             "either way)")
+    parser.add_argument("--checkpoint-stride", type=int, default=0,
+                        metavar="N",
+                        help="dynamic instructions between snapshots "
+                             "(0 = auto)")
 
 
 def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
@@ -295,6 +309,8 @@ def _run_campaign(args, runs: int) -> CampaignResult:
         runs, seed=args.seed, spec=spec,
         settings=CampaignSettings(
             workers=max(1, args.workers), ci_halfwidth=args.ci_halfwidth,
+            checkpoint=args.checkpoint,
+            checkpoint_stride=args.checkpoint_stride,
         ),
     )
 
@@ -316,6 +332,15 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
             workers += " (pool degraded to serial)"
         print(f"wall clock: {campaign.wall_seconds:.2f} s on {workers} "
               f"({campaign.cpu_seconds:.2f} CPU s)", file=out)
+        if campaign.dynamic_instructions:
+            mode = "checkpointed" if campaign.checkpointed else "cold"
+            if campaign.checkpoint_degraded:
+                mode += ", degraded to cold runs"
+            print(f"throughput: {campaign.dynamic_instructions:,} dynamic "
+                  f"instructions ({campaign.instructions_per_second:,.0f}/s, "
+                  f"{campaign.skipped_instructions:,} prefix-skipped, "
+                  f"{campaign.snapshot_bytes:,} snapshot bytes; {mode})",
+                  file=out)
     _print_cache_summary(out)
 
 
@@ -372,6 +397,8 @@ def _cmd_experiment(args, out) -> int:
         model_samples=args.fi_samples,
         fi_workers=args.workers,
         fi_ci_halfwidth=args.ci_halfwidth,
+        fi_checkpoint=args.checkpoint,
+        fi_checkpoint_stride=args.checkpoint_stride,
     )
     workspace = Workspace(config)
     names = list(EXPERIMENTS) if args.id == "all" else [args.id]

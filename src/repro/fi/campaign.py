@@ -58,10 +58,31 @@ class CampaignResult:
     #: True when the result was served from the artifact cache instead
     #: of being executed (counts are bit-identical either way).
     from_cache: bool = False
+    #: Interpreter throughput: dynamic instructions actually executed
+    #: (suffixes + golden capture passes) and instructions *not*
+    #: re-executed because trials forked from golden-prefix snapshots.
+    #: Additive under :meth:`merge`, like the counts.
+    dynamic_instructions: int = 0
+    skipped_instructions: int = 0
+    #: Estimated bytes held by the snapshot sets built for this result
+    #: (counted once per capture pass, summed across workers).
+    snapshot_bytes: int = 0
+    #: True when at least part of the campaign ran in checkpoint mode.
+    checkpointed: bool = False
+    #: True when a checkpoint path failed and trials fell back to cold
+    #: full runs (counts are bit-identical either way).
+    checkpoint_degraded: bool = False
 
     @property
     def total(self) -> int:
         return sum(self.counts.values())
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Executed dynamic instructions per summed CPU second."""
+        if self.cpu_seconds <= 0.0:
+            return 0.0
+        return self.dynamic_instructions / self.cpu_seconds
 
     def probability(self, outcome: str) -> float:
         if self.total == 0:
@@ -99,6 +120,17 @@ class CampaignResult:
             merged.counts[outcome] = self.counts[outcome] + other.counts[outcome]
         merged.wall_seconds = self.wall_seconds + other.wall_seconds
         merged.cpu_seconds = self.cpu_seconds + other.cpu_seconds
+        merged.dynamic_instructions = (
+            self.dynamic_instructions + other.dynamic_instructions
+        )
+        merged.skipped_instructions = (
+            self.skipped_instructions + other.skipped_instructions
+        )
+        merged.snapshot_bytes = self.snapshot_bytes + other.snapshot_bytes
+        merged.checkpointed = self.checkpointed or other.checkpointed
+        merged.checkpoint_degraded = (
+            self.checkpoint_degraded or other.checkpoint_degraded
+        )
         return merged
 
     # -- artifact-cache serialization ----------------------------------
@@ -111,6 +143,10 @@ class CampaignResult:
             "runs_requested": self.runs_requested,
             "stopped_early": self.stopped_early,
             "rounds": self.rounds,
+            "dynamic_instructions": self.dynamic_instructions,
+            "skipped_instructions": self.skipped_instructions,
+            "snapshot_bytes": self.snapshot_bytes,
+            "checkpointed": self.checkpointed,
         }
 
     @classmethod
@@ -132,18 +168,43 @@ class CampaignResult:
             runs_requested=int(data["runs_requested"]),
             stopped_early=bool(data["stopped_early"]),
             rounds=int(data["rounds"]),
+            # Throughput fields describe the producing run; entries
+            # written before they existed replay as zeros.
+            dynamic_instructions=int(data.get("dynamic_instructions", 0)),
+            skipped_instructions=int(data.get("skipped_instructions", 0)),
+            snapshot_bytes=int(data.get("snapshot_bytes", 0)),
+            checkpointed=bool(data.get("checkpointed", False)),
         )
         result.from_cache = True
         return result
 
 
 class FaultInjector:
-    """Runs statistical and per-instruction FI campaigns on one module."""
+    """Runs statistical and per-instruction FI campaigns on one module.
+
+    With ``checkpoint`` enabled (the default) the first trial triggers
+    one instrumented golden pass that captures golden-prefix snapshots
+    (:mod:`repro.interp.checkpoint`); every trial then restores the
+    nearest snapshot at-or-before its injection point and executes only
+    the program suffix.  Outcomes are bit-identical to cold full runs —
+    only wall-clock changes.  Any unexpected failure in the checkpoint
+    path permanently falls back to cold runs for this injector
+    (``checkpoint_degraded``), mirroring the worker-pool degradation
+    policy in :mod:`repro.fi.parallel`: correctness never depends on
+    the optimization.
+    """
 
     def __init__(self, module: Module, engine: ExecutionEngine | None = None,
-                 hang_multiplier: int = 10, golden=None):
+                 hang_multiplier: int = 10, golden=None,
+                 checkpoint: bool = True, checkpoint_stride: int = 0,
+                 max_snapshots: int = 192):
         self.module = module
         self.engine = engine or ExecutionEngine(module)
+        self.checkpoint = checkpoint
+        self.checkpoint_stride = checkpoint_stride
+        self.max_snapshots = max_snapshots
+        self.checkpoint_degraded = False
+        self._capture = None
         # ``golden`` may be a cached GoldenSummary (see repro.cache),
         # skipping the fault-free reference execution entirely — the
         # main per-worker saving when a campaign re-materializes the
@@ -197,9 +258,43 @@ class FaultInjector:
         bits = self.module.instruction(iid).type.bits
         return Injection(iid, occurrence, rng.randrange(bits))
 
-    def run_one(self, injection: Injection) -> str:
-        """Execute once with the fault armed and classify the outcome."""
-        result = self.engine.run(injection, budget=self.hang_budget)
+    # -- checkpoint plumbing -------------------------------------------
+
+    def configure_checkpoints(self, enabled: bool, stride: int = 0) -> None:
+        """(Re)configure suffix-only execution for subsequent trials.
+
+        Campaign drivers call this per span; the capture set survives
+        reconfiguration unless the stride changes, so a worker pays for
+        at most one golden pass per (module, stride).
+        """
+        if stride != self.checkpoint_stride:
+            self._capture = None
+            self.checkpoint_stride = stride
+        if enabled and not self.checkpoint:
+            self.checkpoint_degraded = False
+        self.checkpoint = enabled
+
+    def checkpoints(self):
+        """The lazily-built GoldenCapture, or None when disabled/degraded."""
+        if not self.checkpoint:
+            return None
+        if self._capture is None:
+            stride = self.checkpoint_stride
+            if stride <= 0:
+                stride = max(
+                    1, self.golden.dynamic_count // self.max_snapshots
+                )
+            try:
+                self._capture = self.engine.capture(
+                    stride, self.max_snapshots
+                )
+            except Exception:
+                self.checkpoint = False
+                self.checkpoint_degraded = True
+                return None
+        return self._capture
+
+    def _classify(self, result) -> str:
         if result.outcome == CRASH:
             return CRASHED
         if result.outcome == HANG:
@@ -209,6 +304,37 @@ class FaultInjector:
         if result.outputs != self._golden_outputs:
             return SDC
         return BENIGN
+
+    def _execute_trial(self, injection: Injection, capture,
+                       snapshot) -> tuple[str, int, int]:
+        """One trial -> (outcome, executed, skipped) dynamic instructions."""
+        if capture is not None and snapshot is not None and self.checkpoint:
+            try:
+                result = capture.resume(
+                    snapshot, injection, budget=self.hang_budget
+                )
+            except Exception:
+                # Legitimate fault outcomes are classified inside
+                # resume; anything escaping is a checkpoint bug — fall
+                # back to cold runs for good rather than risk counts.
+                self.checkpoint = False
+                self.checkpoint_degraded = True
+            else:
+                return (
+                    self._classify(result),
+                    result.dynamic_count - snapshot.dynamic_count,
+                    snapshot.dynamic_count,
+                )
+        result = self.engine.run(injection, budget=self.hang_budget)
+        return self._classify(result), result.dynamic_count, 0
+
+    def run_one(self, injection: Injection) -> str:
+        """Execute once with the fault armed and classify the outcome."""
+        capture = self.checkpoints()
+        snapshot = (
+            capture.snapshot_for(injection) if capture is not None else None
+        )
+        return self._execute_trial(injection, capture, snapshot)[0]
 
     # ------------------------------------------------------------------
 
@@ -220,13 +346,43 @@ class FaultInjector:
         so a span's counts depend only on the campaign seed and the run
         indices it covers — never on which process executes it or what
         ran before it.  Campaign drivers partition [0, n) into spans.
+
+        All injections are sampled up front (so counts cannot depend on
+        execution order), then — in checkpoint mode — sorted by their
+        fork point so consecutive trials restore from the same snapshot
+        while its memory image is hot in cache.
         """
         result = CampaignResult()
         started = time.perf_counter()
-        for run_index in range(start, start + count):
-            rng = rng_for(campaign_seed, run_index)
-            outcome = self.run_one(self.sample_injection(rng))
+        trials = [
+            self.sample_injection(rng_for(campaign_seed, run_index))
+            for run_index in range(start, start + count)
+        ]
+        had_capture = self._capture is not None
+        capture = self.checkpoints()
+        if capture is not None and not had_capture:
+            # Account the instrumented golden pass this span paid for.
+            result.snapshot_bytes += capture.total_bytes
+            result.dynamic_instructions += capture.result.dynamic_count
+        if capture is not None:
+            scheduled = [
+                (capture.snapshot_for(injection), injection)
+                for injection in trials
+            ]
+            scheduled.sort(
+                key=lambda pair: pair[0].dynamic_count if pair[0] else 0
+            )
+        else:
+            scheduled = [(None, injection) for injection in trials]
+        for snapshot, injection in scheduled:
+            outcome, executed, skipped = self._execute_trial(
+                injection, capture, snapshot
+            )
             result.counts[outcome] += 1
+            result.dynamic_instructions += executed
+            result.skipped_instructions += skipped
+        result.checkpointed = capture is not None
+        result.checkpoint_degraded = self.checkpoint_degraded
         elapsed = time.perf_counter() - started
         result.wall_seconds = elapsed
         result.cpu_seconds = elapsed
@@ -253,10 +409,22 @@ class FaultInjector:
             instruction_seed = seed_for(seed, iid)
             result = CampaignResult()
             started = time.perf_counter()
+            capture = self.checkpoints()
             for run_index in range(runs_per_instruction):
                 rng = rng_for(instruction_seed, run_index)
-                outcome = self.run_one(self.injection_for(iid, rng))
+                injection = self.injection_for(iid, rng)
+                snapshot = (
+                    capture.snapshot_for(injection)
+                    if capture is not None else None
+                )
+                outcome, executed, skipped = self._execute_trial(
+                    injection, capture, snapshot
+                )
                 result.counts[outcome] += 1
+                result.dynamic_instructions += executed
+                result.skipped_instructions += skipped
+            result.checkpointed = capture is not None
+            result.checkpoint_degraded = self.checkpoint_degraded
             elapsed = time.perf_counter() - started
             result.wall_seconds = elapsed
             result.cpu_seconds = elapsed

@@ -97,6 +97,14 @@ class CampaignSettings:
     #: Per-round pool timeout in seconds; on expiry the round is retried
     #: serially.  None = wait indefinitely.
     round_timeout: float | None = None
+    #: Checkpoint-and-fork: restore golden-prefix snapshots so each
+    #: trial executes only its suffix.  Counts are invariant to this
+    #: knob (it is deliberately *not* part of the campaign cache key);
+    #: an injector that fails to capture or resume degrades back to
+    #: cold full runs, mirroring the pool-failure policy above.
+    checkpoint: bool = True
+    #: Snapshot stride in dynamic instructions; 0 = auto.
+    checkpoint_stride: int = 0
 
     def effective_round_size(self) -> int:
         """Round size the driver will use under early stopping (0 when
@@ -140,14 +148,26 @@ def materialize_injector(spec: ModuleSpec) -> FaultInjector:
     return injector
 
 
-def _run_span_task(task) -> tuple[dict[str, int], float]:
+def _span_perf(result: CampaignResult) -> dict:
+    """Throughput facts a span task ships back alongside its counts."""
+    return {
+        "dynamic_instructions": result.dynamic_instructions,
+        "skipped_instructions": result.skipped_instructions,
+        "snapshot_bytes": result.snapshot_bytes,
+        "checkpointed": result.checkpointed,
+        "checkpoint_degraded": result.checkpoint_degraded,
+    }
+
+
+def _run_span_task(task) -> tuple[dict[str, int], float, dict]:
     global _WORKER_SPEC, _WORKER_INJECTOR
-    spec, start, count, campaign_seed = task
+    spec, start, count, campaign_seed, checkpoint, stride = task
     if _WORKER_INJECTOR is None or _WORKER_SPEC != spec:
         _WORKER_INJECTOR = materialize_injector(spec)
         _WORKER_SPEC = spec
+    _WORKER_INJECTOR.configure_checkpoints(checkpoint, stride)
     result = _WORKER_INJECTOR.run_span(start, count, campaign_seed)
-    return result.counts, result.cpu_seconds
+    return result.counts, result.cpu_seconds, _span_perf(result)
 
 
 # ---------------------------------------------------------------------------
@@ -192,9 +212,11 @@ class ParallelCampaign:
             chunk = math.ceil(count / max(1, self.settings.workers))
         spans = []
         offset, end = start, start + count
+        settings = self.settings
         while offset < end:
             size = min(chunk, end - offset)
-            spans.append((spec, offset, size, seed))
+            spans.append((spec, offset, size, seed,
+                          settings.checkpoint, settings.checkpoint_stride))
             offset += size
         return spans
 
@@ -241,18 +263,21 @@ class ParallelCampaign:
                             pool = self._discard_pool(pool)
                             use_pool, degraded = False, True
                 if span_results is None:
-                    span_results = [
-                        (span_result.counts, span_result.cpu_seconds)
-                        for span_result in (
-                            self.injector.run_span(start, size, seed)
-                            for _spec, start, size, _seed in
-                            self._spans(executed, round_runs, seed, None)
-                        )
-                    ]
-                for counts, cpu_seconds in span_results:
+                    span_results = self._serial_round(
+                        executed, round_runs, seed
+                    )
+                for counts, cpu_seconds, perf in span_results:
                     for outcome, n in counts.items():
                         result.counts[outcome] += n
                     result.cpu_seconds += cpu_seconds
+                    result.dynamic_instructions += perf[
+                        "dynamic_instructions"]
+                    result.skipped_instructions += perf[
+                        "skipped_instructions"]
+                    result.snapshot_bytes += perf["snapshot_bytes"]
+                    result.checkpointed |= perf["checkpointed"]
+                    result.checkpoint_degraded |= perf[
+                        "checkpoint_degraded"]
                 executed += round_runs
                 rounds += 1
                 if self._interval_tight(result):
@@ -279,6 +304,20 @@ class ParallelCampaign:
             store_golden_summary(
                 cache, key, GoldenSummary.from_run(self._injector.golden)
             )
+
+    def _serial_round(self, start: int, count: int, seed: int) -> list:
+        """Execute one round in-process (serial path and pool fallback)."""
+        settings = self.settings
+        self.injector.configure_checkpoints(
+            settings.checkpoint, settings.checkpoint_stride
+        )
+        out = []
+        for _spec, offset, size, _seed, _ckpt, _stride in self._spans(
+                start, count, seed, None):
+            span_result = self.injector.run_span(offset, size, seed)
+            out.append((span_result.counts, span_result.cpu_seconds,
+                        _span_perf(span_result)))
+        return out
 
     def _make_pool(self, workers: int):
         try:
@@ -314,6 +353,8 @@ def run_parallel_campaign(
     round_size: int = 0,
     min_runs: int = 100,
     round_timeout: float | None = None,
+    checkpoint: bool = True,
+    checkpoint_stride: int = 0,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`ParallelCampaign`."""
     campaign = ParallelCampaign(
@@ -323,6 +364,7 @@ def run_parallel_campaign(
             ci_halfwidth=ci_halfwidth, ci_outcome=ci_outcome, ci_z=ci_z,
             round_size=round_size, min_runs=min_runs,
             round_timeout=round_timeout,
+            checkpoint=checkpoint, checkpoint_stride=checkpoint_stride,
         ),
     )
     return campaign.run(runs, seed=seed)

@@ -55,6 +55,10 @@ class ExperimentConfig:
     #: Early-stopping target: stop a campaign once the Wilson 95% CI
     #: half-width on the SDC probability is below this (None = run all).
     fi_ci_halfwidth: float | None = None
+    #: Checkpoint-and-fork FI trials (suffix-only execution).  Counts
+    #: are invariant to both knobs; stride 0 picks one automatically.
+    fi_checkpoint: bool = True
+    fi_checkpoint_stride: int = 0
 
 
 #: Small config used by the pytest benchmarks to keep runtimes bounded.
@@ -154,6 +158,8 @@ class BenchmarkContext:
             settings=CampaignSettings(
                 workers=max(1, config.fi_workers),
                 ci_halfwidth=config.fi_ci_halfwidth,
+                checkpoint=config.fi_checkpoint,
+                checkpoint_stride=config.fi_checkpoint_stride,
             ),
         )
 

@@ -1,6 +1,7 @@
 """Execution substrate: compiled interpreter, memory model, intrinsics."""
 
-from .engine import ExecutionEngine, Injection
+from .checkpoint import GoldenCapture, Snapshot
+from .engine import ExecutionEngine, Injection, engine_build_count
 from .errors import (
     ArithmeticTrap,
     DetectionTrap,
@@ -16,8 +17,8 @@ from .result import CRASH, DETECTED, HANG, OK, RunResult
 
 __all__ = [
     "ArithmeticTrap", "CRASH", "DETECTED", "DetectionTrap", "ExecutionEngine",
-    "GLOBAL_BASE", "GlobalLayout", "HANG", "HangFault", "INTRINSICS",
-    "Injection", "InterpreterBug", "MemoryFault", "MemoryState", "OK",
-    "RunResult", "RuntimeFault", "STACK_BASE", "StackOverflow",
-    "call_intrinsic", "is_intrinsic",
+    "GLOBAL_BASE", "GlobalLayout", "GoldenCapture", "HANG", "HangFault",
+    "INTRINSICS", "Injection", "InterpreterBug", "MemoryFault", "MemoryState",
+    "OK", "RunResult", "RuntimeFault", "STACK_BASE", "Snapshot",
+    "StackOverflow", "call_intrinsic", "engine_build_count", "is_intrinsic",
 ]

@@ -37,6 +37,7 @@ from ..ir.instructions import (
 )
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .checkpoint import FrameSnap, GoldenCapture, Snapshot
 from .errors import (
     ArithmeticTrap,
     DetectionTrap,
@@ -60,6 +61,16 @@ from .ops import (
 from .result import CRASH, DETECTED, HANG, OK, RunResult
 
 _MASK64 = mask(64)
+
+#: Engines compiled in this process.  Campaign workers must build one
+#: engine per (module revision) and reuse it for every run; the
+#: regression tests in ``tests/fi/test_engine_reuse.py`` watch this.
+_ENGINE_BUILDS = 0
+
+
+def engine_build_count() -> int:
+    """How many ExecutionEngines this process has compiled so far."""
+    return _ENGINE_BUILDS
 
 
 @dataclass(frozen=True)
@@ -88,7 +99,7 @@ class _State:
     __slots__ = (
         "memory", "outputs", "dynamic_count", "budget", "block_counts",
         "inject_iid", "inject_occurrence", "inject_bit", "occurrence",
-        "activated", "call_depth",
+        "activated", "call_depth", "call",
     )
 
     def __init__(self, memory: MemoryState, budget: int):
@@ -103,6 +114,28 @@ class _State:
         self.occurrence = 0
         self.activated = False
         self.call_depth = 0
+        #: Call dispatch: the engine's ``_call`` for plain runs, or
+        #: ``_capture_call`` during an instrumented golden pass.
+        self.call = None
+
+
+class _CaptureState(_State):
+    """Extra bookkeeping for the snapshot-capturing golden pass."""
+
+    __slots__ = ("records", "next_capture", "stride", "snapshots",
+                 "max_snapshots")
+
+    def __init__(self, memory: MemoryState, budget: int, stride: int,
+                 max_snapshots: int):
+        super().__init__(memory, budget)
+        #: Shadow stack of [compiled, frame, cblock, previous, step_index]
+        #: records, innermost last; step_index is the position of the
+        #: call step a frame is currently suspended at.
+        self.records: list = []
+        self.stride = stride
+        self.next_capture = stride
+        self.snapshots: list[Snapshot] = []
+        self.max_snapshots = max_snapshots
 
 
 # Terminator kinds.
@@ -110,12 +143,16 @@ _T_JUMP, _T_CBR, _T_RET = 0, 1, 2
 
 
 class _CompiledBlock:
-    __slots__ = ("block", "steps", "term_kind", "term_payload", "cost",
-                 "phi_moves")
+    __slots__ = ("block", "steps", "step_insts", "term_kind", "term_payload",
+                 "cost", "phi_moves")
 
     def __init__(self, block):
         self.block = block
         self.steps = []
+        #: Source instruction of each step, parallel to ``steps`` — the
+        #: checkpoint layer maps a suspended step index back to the call
+        #: instruction whose return value a resumed frame must place.
+        self.step_insts = []
         self.term_kind = _T_RET
         self.term_payload = None
         self.cost = 0
@@ -160,6 +197,10 @@ class ExecutionEngine:
             self._compiled[function.name] = _CompiledFunction(function)
         for compiled in self._compiled.values():
             self._compile_function(compiled)
+        #: iid -> (home IR block, step position) for the checkpoint layer.
+        self._homes: dict[int, tuple] | None = None
+        global _ENGINE_BUILDS
+        _ENGINE_BUILDS += 1
 
     # ------------------------------------------------------------------
     # Public API
@@ -170,6 +211,7 @@ class ExecutionEngine:
         """Execute main once; classify crashes/hangs/detections."""
         memory = MemoryState(self.layout)
         state = _State(memory, budget or self.max_dynamic)
+        state.call = self._call
         if injection is not None:
             target = self.module.instruction(injection.iid)
             if not target.has_result:
@@ -218,49 +260,310 @@ class ExecutionEngine:
     # Interpretation loop
     # ------------------------------------------------------------------
 
-    def _call(self, compiled: _CompiledFunction, args: list, state: _State):
+    def _call(self, compiled: _CompiledFunction, args: list, state: _State,
+              caller_step: int = -1):
         if state.call_depth >= self.stack_limit:
             raise StackOverflow(f"call depth exceeded {self.stack_limit}")
         state.call_depth += 1
         frame = _Frame(compiled.n_slots)
         frame.slots[: compiled.n_args] = args
-        block = compiled.entry
-        previous = None
-        block_counts = state.block_counts
         try:
-            while True:
-                if block.phi_moves is not None:
-                    moves = block.phi_moves.get(previous)
-                    if moves:
-                        # Parallel copy: evaluate all, then assign.
-                        values = [fetch(frame) for _d, fetch, _i, _t in moves]
-                        for (dest, _fetch, iid, value_type), value in zip(
-                                moves, values):
-                            if state.inject_iid == iid:
-                                value = self._maybe_inject(
-                                    state, value, value_type
-                                )
-                            frame.slots[dest] = value
-                state.dynamic_count += block.cost
-                if state.dynamic_count > state.budget:
-                    raise HangFault(state.dynamic_count)
-                block_counts[block.block] = block_counts.get(block.block, 0) + 1
-                for step in block.steps:
-                    step(state, frame)
-                kind = block.term_kind
-                if kind == _T_JUMP:
-                    previous = block
-                    block = block.term_payload
-                elif kind == _T_CBR:
-                    fetch, true_block, false_block = block.term_payload
-                    previous = block
-                    block = true_block if fetch(frame) else false_block
-                else:  # _T_RET
-                    fetch = block.term_payload
-                    return fetch(frame) if fetch is not None else None
+            return self._loop(compiled, frame, compiled.entry, None, state)
         finally:
             state.call_depth -= 1
             state.memory.free(frame.owned)
+
+    def _loop(self, compiled, frame, block, previous, state: _State):
+        """The block dispatch loop, from the top of ``block``.
+
+        Keep in lockstep with :meth:`_capture_loop`, which is this loop
+        plus shadow-stack/snapshot bookkeeping for the golden pass.
+        """
+        block_counts = state.block_counts
+        while True:
+            if block.phi_moves is not None:
+                moves = block.phi_moves.get(previous)
+                if moves:
+                    # Parallel copy: evaluate all, then assign.
+                    values = [fetch(frame) for _d, fetch, _i, _t in moves]
+                    for (dest, _fetch, iid, value_type), value in zip(
+                            moves, values):
+                        if state.inject_iid == iid:
+                            value = self._maybe_inject(
+                                state, value, value_type
+                            )
+                        frame.slots[dest] = value
+            state.dynamic_count += block.cost
+            if state.dynamic_count > state.budget:
+                raise HangFault(state.dynamic_count)
+            block_counts[block.block] = block_counts.get(block.block, 0) + 1
+            for step in block.steps:
+                step(state, frame)
+            kind = block.term_kind
+            if kind == _T_JUMP:
+                previous = block
+                block = block.term_payload
+            elif kind == _T_CBR:
+                fetch, true_block, false_block = block.term_payload
+                previous = block
+                block = true_block if fetch(frame) else false_block
+            else:  # _T_RET
+                fetch = block.term_payload
+                return fetch(frame) if fetch is not None else None
+
+    # ------------------------------------------------------------------
+    # Checkpoint-and-fork execution (see repro.interp.checkpoint)
+    # ------------------------------------------------------------------
+
+    def capture(self, stride: int, max_snapshots: int = 256) -> GoldenCapture:
+        """One instrumented golden run capturing resumable snapshots.
+
+        Snapshots are taken at block boundaries, the first one at or
+        after dynamic index ``stride`` and then every ``stride``
+        instructions, up to ``max_snapshots``.  Raises
+        :class:`InterpreterBug` if the fault-free program does not
+        complete (the same contract as :meth:`golden`).
+        """
+        if stride < 1:
+            raise ValueError(f"capture stride must be >= 1, got {stride}")
+        state = _CaptureState(MemoryState(self.layout), self.max_dynamic,
+                              stride, max_snapshots)
+        state.call = self._capture_call
+        try:
+            self._capture_call(self._compiled["main"], [], state)
+        except (MemoryFault, ArithmeticTrap, StackOverflow, HangFault,
+                DetectionTrap) as fault:
+            raise InterpreterBug(
+                f"golden capture of {self.module.name} failed: {fault}"
+            ) from fault
+        result = RunResult(
+            outcome=OK,
+            outputs=state.outputs,
+            dynamic_count=state.dynamic_count,
+            block_counts=state.block_counts,
+            footprint_bytes=state.memory.footprint_bytes,
+        )
+        return GoldenCapture(self, result, state.snapshots, stride)
+
+    def _capture_call(self, compiled: _CompiledFunction, args: list,
+                      state: _CaptureState, caller_step: int = -1):
+        if state.call_depth >= self.stack_limit:
+            raise StackOverflow(f"call depth exceeded {self.stack_limit}")
+        state.call_depth += 1
+        frame = _Frame(compiled.n_slots)
+        frame.slots[: compiled.n_args] = args
+        records = state.records
+        if records:
+            records[-1][4] = caller_step  # caller now suspended at this step
+        record = [compiled, frame, compiled.entry, None, -1]
+        records.append(record)
+        try:
+            return self._capture_loop(compiled, frame, state, record)
+        finally:
+            records.pop()
+            state.call_depth -= 1
+            state.memory.free(frame.owned)
+
+    def _capture_loop(self, compiled, frame, state: _CaptureState, record):
+        """:meth:`_loop` plus shadow-stack updates and snapshot capture.
+
+        The capture check sits at the very top of the loop — before the
+        pending block's phi moves, cost, and count — so a snapshot sees
+        only *completed* block iterations in every frame but the
+        suspended mid-block ones recorded on the shadow stack.
+        """
+        block = record[2]
+        previous = record[3]
+        block_counts = state.block_counts
+        while True:
+            record[2] = block
+            record[3] = previous
+            if state.dynamic_count >= state.next_capture:
+                self._take_snapshot(state)
+            if block.phi_moves is not None:
+                moves = block.phi_moves.get(previous)
+                if moves:
+                    values = [fetch(frame) for _d, fetch, _i, _t in moves]
+                    for (dest, _fetch, iid, value_type), value in zip(
+                            moves, values):
+                        if state.inject_iid == iid:
+                            value = self._maybe_inject(state, value, value_type)
+                        frame.slots[dest] = value
+            state.dynamic_count += block.cost
+            if state.dynamic_count > state.budget:
+                raise HangFault(state.dynamic_count)
+            block_counts[block.block] = block_counts.get(block.block, 0) + 1
+            for step in block.steps:
+                step(state, frame)
+            kind = block.term_kind
+            if kind == _T_JUMP:
+                previous = block
+                block = block.term_payload
+            elif kind == _T_CBR:
+                fetch, true_block, false_block = block.term_payload
+                previous = block
+                block = true_block if fetch(frame) else false_block
+            else:  # _T_RET
+                fetch = block.term_payload
+                return fetch(frame) if fetch is not None else None
+
+    def _take_snapshot(self, state: _CaptureState) -> None:
+        records = state.records
+        last = len(records) - 1
+        frames = tuple(
+            FrameSnap(
+                compiled, tuple(frame.slots), dict(frame.allocas),
+                tuple(frame.owned), cblock, previous,
+                step_index if index < last else -1,
+            )
+            for index, (compiled, frame, cblock, previous, step_index)
+            in enumerate(records)
+        )
+        memory = state.memory
+        state.snapshots.append(Snapshot(
+            dynamic_count=state.dynamic_count,
+            frames=frames,
+            cells=dict(memory.cells),
+            valid=set(memory.valid),
+            stack_cursor=memory.stack_cursor,
+            footprint_bytes=memory.footprint_bytes,
+            outputs_len=len(state.outputs),
+            block_counts=dict(state.block_counts),
+        ))
+        if len(state.snapshots) >= state.max_snapshots:
+            state.next_capture = state.budget + 1  # schedule exhausted
+        else:
+            state.next_capture = state.dynamic_count + state.stride
+
+    def instruction_home(self, iid: int):
+        """(home IR block, step position) of an instruction, or None.
+
+        Position is the index in the home block's step list; phis are
+        -1 (they execute as edge moves before any step).  Terminators
+        and instructions of other modules have no home here.
+        """
+        if self._homes is None:
+            homes: dict[int, tuple] = {}
+            for compiled in self._compiled.values():
+                for cblock in compiled.blocks.values():
+                    for position, inst in enumerate(cblock.step_insts):
+                        homes[inst.iid] = (cblock.block, position)
+                    for phi in cblock.block.phis():
+                        homes[phi.iid] = (cblock.block, -1)
+            self._homes = homes
+        return self._homes.get(iid)
+
+    def resume_run(self, capture: GoldenCapture, snapshot: Snapshot,
+                   injection: Injection | None = None,
+                   budget: int | None = None) -> RunResult:
+        """Restore ``snapshot`` and execute the remaining suffix.
+
+        Equivalent to :meth:`run` with the same injection whenever the
+        injection point lies at-or-after the snapshot (the scheduler's
+        :meth:`GoldenCapture.snapshot_for` guarantees it): the restored
+        state is bit-identical to the cold run's state at that point,
+        and the engine holds no wall-clock or RNG state that could make
+        the suffix diverge.
+        """
+        state = _State(
+            MemoryState.restored(
+                dict(snapshot.cells), set(snapshot.valid),
+                snapshot.stack_cursor, snapshot.footprint_bytes,
+            ),
+            budget or self.max_dynamic,
+        )
+        state.call = self._call
+        state.outputs = capture.result.outputs[: snapshot.outputs_len]
+        state.dynamic_count = snapshot.dynamic_count
+        state.block_counts = dict(snapshot.block_counts)
+        if injection is not None:
+            target = self.module.instruction(injection.iid)
+            if not target.has_result:
+                raise ValueError(
+                    f"instruction #{injection.iid} has no destination register"
+                )
+            if not 0 <= injection.bit < target.type.bits:
+                raise ValueError(
+                    f"bit {injection.bit} out of range for {target.type}"
+                )
+            state.inject_iid = injection.iid
+            state.inject_occurrence = injection.occurrence
+            state.inject_bit = injection.bit
+            # The prefix already executed this many occurrences of the
+            # target; the armed occurrence must fire in the suffix.
+            state.occurrence = capture.prefix_occurrence(
+                snapshot, injection.iid
+            )
+
+        outcome, crash_reason = OK, ""
+        try:
+            self._resume_frame(snapshot, 0, state)
+        except (MemoryFault, ArithmeticTrap, StackOverflow) as fault:
+            outcome, crash_reason = CRASH, str(fault)
+        except HangFault as fault:
+            outcome, crash_reason = HANG, str(fault)
+        except DetectionTrap as fault:
+            outcome, crash_reason = DETECTED, str(fault)
+
+        return RunResult(
+            outcome=outcome,
+            outputs=state.outputs,
+            dynamic_count=state.dynamic_count,
+            crash_reason=crash_reason,
+            activated=state.activated,
+            block_counts=state.block_counts,
+            footprint_bytes=state.memory.footprint_bytes,
+        )
+
+    def _resume_frame(self, snapshot: Snapshot, depth: int, state: _State):
+        """Rebuild one activation record and continue its execution.
+
+        Outer frames are suspended at a call step: the callee (the next
+        frame) resumes first, then its return value is placed exactly
+        as the call step would have (injection hook included) and the
+        block's remaining steps run.  The innermost frame resumes at
+        the top of the block loop, where the capture was taken.
+        """
+        frec = snapshot.frames[depth]
+        compiled = frec.compiled
+        state.call_depth += 1
+        frame = _Frame(compiled.n_slots)
+        frame.slots[:] = frec.slots
+        frame.allocas.update(frec.allocas)
+        frame.owned.extend(frec.owned)
+        try:
+            if depth + 1 < len(snapshot.frames):
+                value = self._resume_frame(snapshot, depth + 1, state)
+                cblock = frec.cblock
+                inst = cblock.step_insts[frec.step_index]
+                if inst.has_result:
+                    if state.inject_iid == inst.iid:
+                        value = self._maybe_inject(state, value, inst.type)
+                    frame.slots[compiled.slot_of[id(inst)]] = value
+                return self._loop_from(
+                    compiled, frame, cblock, frec.step_index + 1, state
+                )
+            return self._loop(compiled, frame, frec.cblock, frec.previous,
+                              state)
+        finally:
+            state.call_depth -= 1
+            state.memory.free(frame.owned)
+
+    def _loop_from(self, compiled, frame, cblock, start: int, state: _State):
+        """Finish a block from step ``start``, then rejoin the main loop."""
+        steps = cblock.steps
+        for index in range(start, len(steps)):
+            steps[index](state, frame)
+        kind = cblock.term_kind
+        if kind == _T_RET:
+            fetch = cblock.term_payload
+            return fetch(frame) if fetch is not None else None
+        if kind == _T_JUMP:
+            block = cblock.term_payload
+        else:  # _T_CBR
+            fetch, true_block, false_block = cblock.term_payload
+            block = true_block if fetch(frame) else false_block
+        return self._loop(compiled, frame, block, cblock, state)
 
     # ------------------------------------------------------------------
     # Compilation
@@ -278,7 +581,11 @@ class ExecutionEngine:
                 if inst.is_terminator:
                     self._compile_terminator(compiled, cblock, inst, block_map)
                 else:
-                    cblock.steps.append(self._compile_step(compiled, inst))
+                    step_index = len(cblock.steps)
+                    cblock.step_insts.append(inst)
+                    cblock.steps.append(
+                        self._compile_step(compiled, inst, step_index)
+                    )
             cblock.cost = len(block.instructions)
         # Phi nodes become parallel copies on each incoming edge.
         for block, cblock in block_map.items():
@@ -338,7 +645,7 @@ class ExecutionEngine:
 
     # -- step compilation ---------------------------------------------------
 
-    def _compile_step(self, compiled, inst: Instruction):
+    def _compile_step(self, compiled, inst: Instruction, step_index: int):
         if isinstance(inst, BinOp):
             return self._step_binop(compiled, inst)
         if isinstance(inst, ICmp):
@@ -356,7 +663,7 @@ class ExecutionEngine:
         if isinstance(inst, GetElementPtr):
             return self._step_gep(compiled, inst)
         if isinstance(inst, Call):
-            return self._step_call(compiled, inst)
+            return self._step_call(compiled, inst, step_index)
         if isinstance(inst, Output):
             return self._step_output(compiled, inst)
         if isinstance(inst, Select):
@@ -538,7 +845,7 @@ class ExecutionEngine:
 
         return step
 
-    def _step_call(self, compiled, inst: Call):
+    def _step_call(self, compiled, inst: Call, step_index: int):
         fetches = [self._fetch(compiled, arg) for arg in inst.args]
         callee = inst.callee
         result_type = inst.type
@@ -558,9 +865,12 @@ class ExecutionEngine:
 
         compiled_map = self._compiled
 
+        # ``state.call`` dispatches to _call (plain runs) or
+        # _capture_call (golden snapshot pass); the step index lets the
+        # capture pass record where this frame is suspended.
         def step(state, frame):
             args = [fetch(frame) for fetch in fetches]
-            value = self._call(compiled_map[callee], args, state)
+            value = state.call(compiled_map[callee], args, state, step_index)
             if has_result:
                 if state.inject_iid == iid:
                     value = inject(state, value, result_type)

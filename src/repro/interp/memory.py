@@ -63,6 +63,22 @@ class MemoryState:
         self.stack_cursor = STACK_BASE
         self.footprint_bytes = layout.total_bytes
 
+    @classmethod
+    def restored(cls, cells: dict, valid: set, stack_cursor: int,
+                 footprint_bytes: int) -> "MemoryState":
+        """Rebuild a run-ready memory image from snapshot fields.
+
+        The caller must pass private copies: snapshots are immutable
+        and shared across fault-injection trials, so every restore
+        materializes its own cells/valid before mutating them.
+        """
+        memory = cls.__new__(cls)
+        memory.cells = cells
+        memory.valid = valid
+        memory.stack_cursor = stack_cursor
+        memory.footprint_bytes = footprint_bytes
+        return memory
+
     # -- allocation -----------------------------------------------------------
 
     def allocate_stack(self, count: int, elem_size: int) -> tuple[int, list[int]]:

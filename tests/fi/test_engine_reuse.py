@@ -1,0 +1,69 @@
+"""Engine reuse: one compilation per worker per module revision.
+
+Compiling an :class:`ExecutionEngine` (closure specialization of every
+instruction) is the expensive per-module step; a campaign must pay it
+once per worker and amortize it across every span, round, and trial.
+``engine_build_count`` counts compilations process-wide, so these tests
+lock the invariant by measuring deltas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi import FaultInjector, ModuleSpec
+from repro.fi import parallel as fi_parallel
+from repro.fi.parallel import _run_span_task
+from repro.interp import engine_build_count
+from tests.conftest import cached_module
+
+
+@pytest.fixture
+def fresh_worker(monkeypatch):
+    """Simulate a fresh pool worker: clear the per-process injector
+    cache without leaking state into other tests."""
+    monkeypatch.setattr(fi_parallel, "_WORKER_SPEC", None)
+    monkeypatch.setattr(fi_parallel, "_WORKER_INJECTOR", None)
+
+
+class TestInjectorReuse:
+    def test_campaign_compiles_exactly_once(self):
+        before = engine_build_count()
+        injector = FaultInjector(cached_module("pathfinder"))
+        assert engine_build_count() == before + 1
+        injector.campaign(60, seed=1)
+        injector.campaign(60, seed=2)
+        injector.run_span(0, 40, 3)
+        assert engine_build_count() == before + 1
+
+    def test_checkpoint_capture_reuses_engine(self):
+        injector = FaultInjector(cached_module("hotspot"))
+        before = engine_build_count()
+        assert injector.checkpoints() is not None
+        injector.run_span(0, 40, 1)
+        injector.configure_checkpoints(True, stride=100)
+        injector.run_span(0, 40, 1)
+        assert engine_build_count() == before
+
+
+class TestWorkerReuse:
+    def test_same_spec_spans_share_one_build(self, fresh_worker):
+        spec = ModuleSpec.from_benchmark("pathfinder", "test")
+        before = engine_build_count()
+        _run_span_task((spec, 0, 30, 1, True, 0))
+        assert engine_build_count() == before + 1
+        _run_span_task((spec, 30, 30, 1, True, 0))
+        _run_span_task((spec, 60, 30, 1, False, 0))  # toggling the
+        _run_span_task((spec, 90, 30, 1, True, 0))   # knobs keeps it
+        assert engine_build_count() == before + 1
+
+    def test_new_module_revision_recompiles(self, fresh_worker):
+        before = engine_build_count()
+        _run_span_task(
+            (ModuleSpec.from_benchmark("pathfinder", "test"), 0, 20, 1,
+             True, 0)
+        )
+        _run_span_task(
+            (ModuleSpec.from_benchmark("nw", "test"), 0, 20, 1, True, 0)
+        )
+        assert engine_build_count() == before + 2
