@@ -16,6 +16,9 @@ set the environment variables below for a fuller (slower) run:
     REPRO_FI_CHECKPOINT_STRIDE=500
                                 dynamic instructions between golden
                                 snapshots (0 = auto)
+    REPRO_INTERP_TIER=closure   interpreter execution tier (codegen or
+                                closure; default codegen — outcomes are
+                                bit-identical either way)
     REPRO_CACHE_DIR=.repro-cache
                                 artifact-cache root (CI restores this
                                 across runs); unset = .repro-cache/
@@ -75,6 +78,7 @@ def harness_config() -> ExperimentConfig:
         fi_ci_halfwidth=float(halfwidth) if halfwidth else None,
         fi_checkpoint=_flag_env("REPRO_FI_CHECKPOINT", True),
         fi_checkpoint_stride=_int_env("REPRO_FI_CHECKPOINT_STRIDE", 0),
+        interp_tier=os.environ.get("REPRO_INTERP_TIER") or None,
     )
 
 

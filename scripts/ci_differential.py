@@ -22,6 +22,13 @@ Three phases, selectable with ``--only`` (default: all):
    bit-identical, trials must actually skip prefix work, and the
    checkpointed campaign must hit the speedup threshold.
 
+4. **interp-codegen** — golden runs on every registered benchmark and
+   FI campaigns on two of them, closure tier vs codegen tier.  Outcomes,
+   outputs, block counts and campaign counts must be bit-identical, no
+   function may fall back, and codegen must hit the golden-run speedup
+   threshold (plus a measurable campaign speedup on top of
+   checkpointing).
+
 Exits non-zero with a one-line reason on the first failed check.
 """
 
@@ -32,12 +39,13 @@ import sys
 import tempfile
 import time
 
-from repro.bench import build_module
+from repro.bench import BENCHMARK_NAMES, build_module
 from repro.cache.disk import configure_cache
 from repro.core.simple_models import create_model
 from repro.fi import FaultInjector
 from repro.harness.context import QUICK, Workspace
 from repro.harness.fig5 import run_fig5
+from repro.interp import TIER_CLOSURE, TIER_CODEGEN, ExecutionEngine
 from repro.profiling import ProfilingInterpreter
 from repro.protection.duplication import (
     duplicable_iids,
@@ -156,6 +164,82 @@ def fi_checkpoint(speedup: float, runs: int) -> None:
     )
 
 
+def _best_golden_seconds(engine: ExecutionEngine, repeats: int = 5) -> float:
+    """Best-of-N golden-run wall clock (min is the stable estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def interp_codegen(speedup: float, runs: int) -> None:
+    """Closure vs codegen tiers: identical results, faster clock."""
+    golden_speedups = []
+    for name in BENCHMARK_NAMES:
+        module = build_module(name, "test")
+        closure = ExecutionEngine(module, tier=TIER_CLOSURE)
+        codegen = ExecutionEngine(module, tier=TIER_CODEGEN)
+        check(
+            codegen.codegen_fallbacks == 0,
+            f"{name}: all {codegen.codegen_functions} functions compiled",
+        )
+        left, right = closure.run(), codegen.run()
+        check(
+            left.outcome == right.outcome
+            and left.outputs == right.outputs
+            and left.block_counts == right.block_counts
+            and left.dynamic_count == right.dynamic_count,
+            f"{name}: codegen golden run bit-identical to closure",
+        )
+        closure_seconds = _best_golden_seconds(closure)
+        codegen_seconds = _best_golden_seconds(codegen)
+        golden_speedups.append(closure_seconds / codegen_seconds)
+        print(f"   {name}: closure {closure_seconds * 1e3:.2f}ms, "
+              f"codegen {codegen_seconds * 1e3:.2f}ms "
+              f"({golden_speedups[-1]:.2f}x)")
+    check(
+        max(golden_speedups) >= speedup,
+        f"codegen golden runs are >={speedup:g}x faster on some benchmark "
+        f"(best {max(golden_speedups):.2f}x)",
+    )
+
+    campaign_speedups = []
+    for name in ("pathfinder", "hotspot"):
+        module = build_module(name, "test")
+        closure = FaultInjector(module, interp_tier=TIER_CLOSURE)
+        started = time.perf_counter()
+        closure_result = closure.run_span(0, runs, 1)
+        closure_seconds = time.perf_counter() - started
+
+        codegen = FaultInjector(module, interp_tier=TIER_CODEGEN)
+        started = time.perf_counter()
+        codegen_result = codegen.run_span(0, runs, 1)
+        codegen_seconds = time.perf_counter() - started
+
+        check(
+            codegen_result.counts == closure_result.counts,
+            f"{name}: codegen campaign counts bit-identical to closure",
+        )
+        check(
+            codegen_result.checkpointed and closure_result.checkpointed,
+            f"{name}: both campaigns ran checkpointed",
+        )
+        check(
+            codegen_result.codegen_fallbacks == 0,
+            f"{name}: campaign engine had no codegen fallbacks",
+        )
+        campaign_speedups.append(closure_seconds / codegen_seconds)
+        print(f"   {name}: closure {closure_seconds:.2f}s, codegen "
+              f"{codegen_seconds:.2f}s ({campaign_speedups[-1]:.2f}x)")
+    check(
+        max(campaign_speedups) > 1.1,
+        f"codegen campaigns are measurably faster on top of checkpointing "
+        f"(best {max(campaign_speedups):.2f}x)",
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -165,26 +249,33 @@ def main() -> None:
     )
     parser.add_argument(
         "--only", action="append",
-        choices=("fig5", "remodel", "fi-checkpoint"), default=None,
+        choices=("fig5", "remodel", "fi-checkpoint", "interp-codegen"),
+        default=None,
         help="run only the named phase (repeatable; default: all)",
     )
     parser.add_argument("--fig5-speedup", type=float, default=2.0)
     parser.add_argument("--remodel-speedup", type=float, default=2.0)
     parser.add_argument("--fi-checkpoint-speedup", type=float, default=2.0)
     parser.add_argument("--fi-checkpoint-runs", type=int, default=1000)
+    parser.add_argument("--interp-codegen-speedup", type=float, default=2.0)
+    parser.add_argument("--interp-campaign-runs", type=int, default=600)
     args = parser.parse_args()
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-diff-")
     configure_cache(cache_dir)
     print(f"artifact cache: {cache_dir}")
 
-    phases = args.only or ["fig5", "remodel", "fi-checkpoint"]
+    phases = args.only or ["fig5", "remodel", "fi-checkpoint",
+                           "interp-codegen"]
     if "fig5" in phases:
         fig5_replay(args.fig5_speedup)
     if "remodel" in phases:
         one_function_edit(args.remodel_speedup)
     if "fi-checkpoint" in phases:
         fi_checkpoint(args.fi_checkpoint_speedup, args.fi_checkpoint_runs)
+    if "interp-codegen" in phases:
+        interp_codegen(args.interp_codegen_speedup,
+                       args.interp_campaign_runs)
     print("differential check passed")
 
 

@@ -26,6 +26,7 @@ from .fi.campaign import OUTCOMES, CampaignResult
 from .fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
+from .interp.codegen import TIER_CLOSURE, TIER_CODEGEN
 from .ir.module import Module
 from .ir.printer import format_instruction, print_module
 from .opt.pipeline import optimize
@@ -134,6 +135,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
                             help="stop FI campaigns early at this Wilson "
                                  "95%% CI half-width on the SDC probability")
     _add_checkpoint_args(experiment)
+    _add_interp_args(experiment)
     return parser
 
 
@@ -148,6 +150,15 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                              "on the SDC probability is below this "
                              "(paper methodology: 0.01)")
     _add_checkpoint_args(parser)
+    _add_interp_args(parser)
+
+
+def _add_interp_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interp-tier", default=None,
+                        choices=(TIER_CODEGEN, TIER_CLOSURE),
+                        help="interpreter execution tier (default: "
+                             "REPRO_INTERP_TIER env, else codegen; "
+                             "outcomes are identical either way)")
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -311,6 +322,7 @@ def _run_campaign(args, runs: int) -> CampaignResult:
             workers=max(1, args.workers), ci_halfwidth=args.ci_halfwidth,
             checkpoint=args.checkpoint,
             checkpoint_stride=args.checkpoint_stride,
+            interp_tier=args.interp_tier,
         ),
     )
 
@@ -341,6 +353,13 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
                   f"{campaign.skipped_instructions:,} prefix-skipped, "
                   f"{campaign.snapshot_bytes:,} snapshot bytes; {mode})",
                   file=out)
+        if campaign.interp_tier:
+            tier = f"interp tier: {campaign.interp_tier}"
+            if campaign.interp_tier == TIER_CODEGEN:
+                tier += (f" ({campaign.codegen_functions} functions "
+                         f"compiled, {campaign.codegen_fallbacks} "
+                         f"fallbacks)")
+            print(tier, file=out)
     _print_cache_summary(out)
 
 
@@ -399,6 +418,7 @@ def _cmd_experiment(args, out) -> int:
         fi_ci_halfwidth=args.ci_halfwidth,
         fi_checkpoint=args.checkpoint,
         fi_checkpoint_stride=args.checkpoint_stride,
+        interp_tier=args.interp_tier,
     )
     workspace = Workspace(config)
     names = list(EXPERIMENTS) if args.id == "all" else [args.id]

@@ -72,6 +72,15 @@ class CampaignResult:
     #: True when a checkpoint path failed and trials fell back to cold
     #: full runs (counts are bit-identical either way).
     checkpoint_degraded: bool = False
+    #: Interpreter tier that executed the campaign ("codegen" or
+    #: "closure"); empty for results that never ran (e.g. bare merges).
+    interp_tier: str = ""
+    #: Codegen tier statistics from the executing engine: functions
+    #: successfully compiled to generated source, and functions that
+    #: fell back to the closure tier.  Per-engine gauges, so ``merge``
+    #: takes the max rather than summing across workers.
+    codegen_functions: int = 0
+    codegen_fallbacks: int = 0
 
     @property
     def total(self) -> int:
@@ -131,6 +140,13 @@ class CampaignResult:
         merged.checkpoint_degraded = (
             self.checkpoint_degraded or other.checkpoint_degraded
         )
+        merged.interp_tier = self.interp_tier or other.interp_tier
+        merged.codegen_functions = max(
+            self.codegen_functions, other.codegen_functions
+        )
+        merged.codegen_fallbacks = max(
+            self.codegen_fallbacks, other.codegen_fallbacks
+        )
         return merged
 
     # -- artifact-cache serialization ----------------------------------
@@ -147,6 +163,9 @@ class CampaignResult:
             "skipped_instructions": self.skipped_instructions,
             "snapshot_bytes": self.snapshot_bytes,
             "checkpointed": self.checkpointed,
+            "interp_tier": self.interp_tier,
+            "codegen_functions": self.codegen_functions,
+            "codegen_fallbacks": self.codegen_fallbacks,
         }
 
     @classmethod
@@ -174,6 +193,9 @@ class CampaignResult:
             skipped_instructions=int(data.get("skipped_instructions", 0)),
             snapshot_bytes=int(data.get("snapshot_bytes", 0)),
             checkpointed=bool(data.get("checkpointed", False)),
+            interp_tier=str(data.get("interp_tier", "")),
+            codegen_functions=int(data.get("codegen_functions", 0)),
+            codegen_fallbacks=int(data.get("codegen_fallbacks", 0)),
         )
         result.from_cache = True
         return result
@@ -197,9 +219,9 @@ class FaultInjector:
     def __init__(self, module: Module, engine: ExecutionEngine | None = None,
                  hang_multiplier: int = 10, golden=None,
                  checkpoint: bool = True, checkpoint_stride: int = 0,
-                 max_snapshots: int = 192):
+                 max_snapshots: int = 192, interp_tier: str | None = None):
         self.module = module
-        self.engine = engine or ExecutionEngine(module)
+        self.engine = engine or ExecutionEngine(module, tier=interp_tier)
         self.checkpoint = checkpoint
         self.checkpoint_stride = checkpoint_stride
         self.max_snapshots = max_snapshots
@@ -257,6 +279,25 @@ class FaultInjector:
         occurrence = rng.randint(1, self.target_counts[index])
         bits = self.module.instruction(iid).type.bits
         return Injection(iid, occurrence, rng.randrange(bits))
+
+    # -- interpreter-tier plumbing -------------------------------------
+
+    def configure_tier(self, tier: str | None) -> None:
+        """(Re)select the interpreter tier for subsequent trials.
+
+        Pass ``None`` to keep the engine's current tier.  Like
+        :meth:`configure_checkpoints`, this is cheap to call per span —
+        switching tiers flips a dispatch flag on the shared engine
+        without recompiling anything.
+        """
+        if tier is not None:
+            self.engine.configure_tier(tier)
+
+    def _stamp_tier(self, result: CampaignResult) -> None:
+        """Record which tier executed a result plus its codegen stats."""
+        result.interp_tier = self.engine.tier
+        result.codegen_functions = self.engine.codegen_functions
+        result.codegen_fallbacks = self.engine.codegen_fallbacks
 
     # -- checkpoint plumbing -------------------------------------------
 
@@ -383,6 +424,7 @@ class FaultInjector:
             result.skipped_instructions += skipped
         result.checkpointed = capture is not None
         result.checkpoint_degraded = self.checkpoint_degraded
+        self._stamp_tier(result)
         elapsed = time.perf_counter() - started
         result.wall_seconds = elapsed
         result.cpu_seconds = elapsed
@@ -425,6 +467,7 @@ class FaultInjector:
                 result.skipped_instructions += skipped
             result.checkpointed = capture is not None
             result.checkpoint_degraded = self.checkpoint_degraded
+            self._stamp_tier(result)
             elapsed = time.perf_counter() - started
             result.wall_seconds = elapsed
             result.cpu_seconds = elapsed

@@ -105,6 +105,11 @@ class CampaignSettings:
     checkpoint: bool = True
     #: Snapshot stride in dynamic instructions; 0 = auto.
     checkpoint_stride: int = 0
+    #: Interpreter tier ("codegen"/"closure"); None keeps each engine's
+    #: resolved default.  Counts are invariant to the tier (the CI
+    #: differential enforces bit-identity), so — like the checkpoint
+    #: knobs — it is deliberately *not* part of the campaign cache key.
+    interp_tier: str | None = None
 
     def effective_round_size(self) -> int:
         """Round size the driver will use under early stopping (0 when
@@ -127,7 +132,8 @@ _WORKER_SPEC: ModuleSpec | None = None
 _WORKER_INJECTOR: FaultInjector | None = None
 
 
-def materialize_injector(spec: ModuleSpec) -> FaultInjector:
+def materialize_injector(spec: ModuleSpec,
+                         interp_tier: str | None = None) -> FaultInjector:
     """Build a FaultInjector for a spec, warm-starting the golden run.
 
     The golden-run summary (outputs, per-instruction counts, dynamic
@@ -140,7 +146,7 @@ def materialize_injector(spec: ModuleSpec) -> FaultInjector:
     cache = get_cache()
     key = golden_key(module_fingerprint(module))
     golden = load_golden_summary(cache, key)
-    injector = FaultInjector(module, golden=golden)
+    injector = FaultInjector(module, golden=golden, interp_tier=interp_tier)
     if golden is None:
         store_golden_summary(
             cache, key, GoldenSummary.from_run(injector.golden)
@@ -156,16 +162,20 @@ def _span_perf(result: CampaignResult) -> dict:
         "snapshot_bytes": result.snapshot_bytes,
         "checkpointed": result.checkpointed,
         "checkpoint_degraded": result.checkpoint_degraded,
+        "interp_tier": result.interp_tier,
+        "codegen_functions": result.codegen_functions,
+        "codegen_fallbacks": result.codegen_fallbacks,
     }
 
 
 def _run_span_task(task) -> tuple[dict[str, int], float, dict]:
     global _WORKER_SPEC, _WORKER_INJECTOR
-    spec, start, count, campaign_seed, checkpoint, stride = task
+    spec, start, count, campaign_seed, checkpoint, stride, tier = task
     if _WORKER_INJECTOR is None or _WORKER_SPEC != spec:
-        _WORKER_INJECTOR = materialize_injector(spec)
+        _WORKER_INJECTOR = materialize_injector(spec, interp_tier=tier)
         _WORKER_SPEC = spec
     _WORKER_INJECTOR.configure_checkpoints(checkpoint, stride)
+    _WORKER_INJECTOR.configure_tier(tier)
     result = _WORKER_INJECTOR.run_span(start, count, campaign_seed)
     return result.counts, result.cpu_seconds, _span_perf(result)
 
@@ -216,7 +226,8 @@ class ParallelCampaign:
         while offset < end:
             size = min(chunk, end - offset)
             spans.append((spec, offset, size, seed,
-                          settings.checkpoint, settings.checkpoint_stride))
+                          settings.checkpoint, settings.checkpoint_stride,
+                          settings.interp_tier))
             offset += size
         return spans
 
@@ -278,6 +289,15 @@ class ParallelCampaign:
                     result.checkpointed |= perf["checkpointed"]
                     result.checkpoint_degraded |= perf[
                         "checkpoint_degraded"]
+                    result.interp_tier = (
+                        result.interp_tier or perf["interp_tier"]
+                    )
+                    result.codegen_functions = max(
+                        result.codegen_functions, perf["codegen_functions"]
+                    )
+                    result.codegen_fallbacks = max(
+                        result.codegen_fallbacks, perf["codegen_fallbacks"]
+                    )
                 executed += round_runs
                 rounds += 1
                 if self._interval_tight(result):
@@ -311,8 +331,9 @@ class ParallelCampaign:
         self.injector.configure_checkpoints(
             settings.checkpoint, settings.checkpoint_stride
         )
+        self.injector.configure_tier(settings.interp_tier)
         out = []
-        for _spec, offset, size, _seed, _ckpt, _stride in self._spans(
+        for _spec, offset, size, _seed, _ckpt, _stride, _tier in self._spans(
                 start, count, seed, None):
             span_result = self.injector.run_span(offset, size, seed)
             out.append((span_result.counts, span_result.cpu_seconds,
@@ -355,6 +376,7 @@ def run_parallel_campaign(
     round_timeout: float | None = None,
     checkpoint: bool = True,
     checkpoint_stride: int = 0,
+    interp_tier: str | None = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`ParallelCampaign`."""
     campaign = ParallelCampaign(
@@ -365,6 +387,7 @@ def run_parallel_campaign(
             round_size=round_size, min_runs=min_runs,
             round_timeout=round_timeout,
             checkpoint=checkpoint, checkpoint_stride=checkpoint_stride,
+            interp_tier=interp_tier,
         ),
     )
     return campaign.run(runs, seed=seed)

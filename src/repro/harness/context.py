@@ -59,6 +59,9 @@ class ExperimentConfig:
     #: are invariant to both knobs; stride 0 picks one automatically.
     fi_checkpoint: bool = True
     fi_checkpoint_stride: int = 0
+    #: Interpreter tier ("codegen"/"closure"); None = resolved default
+    #: (REPRO_INTERP_TIER env, else codegen).  Outcomes are invariant.
+    interp_tier: str | None = None
 
 
 #: Small config used by the pytest benchmarks to keep runtimes bounded.
@@ -116,7 +119,7 @@ class BenchmarkContext:
 
     @cached_property
     def engine(self) -> ExecutionEngine:
-        return ExecutionEngine(self.module)
+        return ExecutionEngine(self.module, tier=self.config.interp_tier)
 
     @cached_property
     def injector(self) -> FaultInjector:
@@ -160,6 +163,7 @@ class BenchmarkContext:
                 ci_halfwidth=config.fi_ci_halfwidth,
                 checkpoint=config.fi_checkpoint,
                 checkpoint_stride=config.fi_checkpoint_stride,
+                interp_tier=config.interp_tier,
             ),
         )
 

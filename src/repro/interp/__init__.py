@@ -1,6 +1,7 @@
 """Execution substrate: compiled interpreter, memory model, intrinsics."""
 
 from .checkpoint import GoldenCapture, Snapshot
+from .codegen import TIER_CLOSURE, TIER_CODEGEN, resolve_tier
 from .engine import ExecutionEngine, Injection, engine_build_count
 from .errors import (
     ArithmeticTrap,
@@ -20,5 +21,6 @@ __all__ = [
     "GLOBAL_BASE", "GlobalLayout", "GoldenCapture", "HANG", "HangFault",
     "INTRINSICS", "Injection", "InterpreterBug", "MemoryFault", "MemoryState",
     "OK", "RunResult", "RuntimeFault", "STACK_BASE", "Snapshot",
-    "StackOverflow", "call_intrinsic", "engine_build_count", "is_intrinsic",
+    "StackOverflow", "TIER_CLOSURE", "TIER_CODEGEN", "call_intrinsic",
+    "engine_build_count", "is_intrinsic", "resolve_tier",
 ]

@@ -135,7 +135,7 @@ class GoldenCapture:
         if home is None:
             return 0
         block, position = home
-        count = snapshot.block_counts.get(block, 0)
+        count = snapshot.block_counts[self.engine.block_ordinal(block)]
         frames = snapshot.frames
         for index in range(len(frames) - 1):
             frame = frames[index]

@@ -1,0 +1,457 @@
+"""Codegen execution tier: basic blocks compiled to Python functions.
+
+The closure tier in :mod:`repro.interp.engine` pays a Python call per
+step plus one or two calls per operand fetch.  This module eliminates
+that dispatch by translating every compiled block — and straight-line
+*superblocks* along unconditional-jump chains — into a single Python
+function generated as source, ``compile()``'d and ``exec``'d once per
+module revision.  Operands become direct ``slots[i]`` subscripts or
+embedded literals, common operations are inlined (masked adds, unsigned
+compares, direct float arithmetic), and rare or trap-raising operations
+call the exact helpers of :mod:`repro.interp.ops`, so results stay
+bit-identical with the closure tier by construction.
+
+Two specializations are generated per block function:
+
+* the **fast** variant carries *zero* injection checks — golden runs,
+  profiling passes, and every trial executing outside the armed
+  instruction's blocks use it;
+* the **inject** variant guards every destination register (steps and
+  phi edge copies) with the closure tier's ``state.inject_iid`` check.
+
+A generated function's *covered* iid set records exactly which
+instructions the inject variant guards; the engine dispatches through a
+per-``inject_iid`` table that selects the inject variant only for
+functions covering the armed iid, so occurrence bookkeeping is
+identical to the closure tier while the common path stays clean.
+
+Block functions have the signature ``(state, frame) -> int``: they
+execute one (super)block iteration — successor phi moves included —
+and return the local index of the next block, or ``-1`` after ``ret``
+(the return value parks in ``state.ret_value``).  The driver loop lives
+in :meth:`repro.interp.engine.ExecutionEngine._cg_run`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..ir.bitutils import mask, to_signed, truncate_float
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Output,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.types import FloatType, IntType
+from ..ir.values import Argument, Constant, GlobalVariable
+from .errors import DetectionTrap, HangFault, InterpreterBug
+from .intrinsics import call_intrinsic, is_intrinsic
+from .ops import (
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+    format_output,
+    reinterpret_loaded,
+)
+
+#: Interpreter tier names, and the environment knob that selects one.
+TIER_CODEGEN = "codegen"
+TIER_CLOSURE = "closure"
+TIERS = (TIER_CODEGEN, TIER_CLOSURE)
+TIER_ENV = "REPRO_INTERP_TIER"
+
+#: Longest unconditional-jump chain inlined into one superblock.
+CHAIN_LIMIT = 16
+
+_MASK64 = mask(64)
+_F32 = FloatType(32)
+
+
+def resolve_tier(tier: str | None = None) -> str:
+    """Resolve a tier request: explicit arg > $REPRO_INTERP_TIER > codegen."""
+    if tier is None:
+        tier = os.environ.get(TIER_ENV) or TIER_CODEGEN
+    if tier not in TIERS:
+        raise ValueError(
+            f"unknown interpreter tier {tier!r}; expected one of {TIERS}"
+        )
+    return tier
+
+
+def _truncate_f32(value: float) -> float:
+    return truncate_float(value, _F32)
+
+
+_ICMP_UNSIGNED = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=",
+                  "ugt": ">", "uge": ">="}
+_ICMP_SIGNED = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
+_FCMP_ORDERED = {"oeq": "==", "one": "!=", "olt": "<", "ole": "<=",
+                 "ogt": ">", "oge": ">="}
+_INT_MASKED = {"add": "+", "sub": "-", "mul": "*"}
+_INT_BITWISE = {"and": "&", "or": "|", "xor": "^"}
+_FLOAT_DIRECT = {"fadd": "+", "fsub": "-", "fmul": "*"}
+
+
+def generate_function(engine, compiled):
+    """Generate, compile and exec both specializations of one function.
+
+    Returns ``(fast, inject, covered, source)`` where ``fast`` and
+    ``inject`` are block-function lists indexed by the blocks' local
+    indices, ``covered`` holds the per-function frozensets of iids the
+    inject variant guards, and ``source`` is the generated module (kept
+    for debugging).  Raises on any instruction the generator cannot
+    translate — the engine treats that as a per-function fallback to
+    the closure tier.
+    """
+    return _FunctionCodegen(engine, compiled).build()
+
+
+class _FunctionCodegen:
+    def __init__(self, engine, compiled):
+        self.engine = engine
+        self.compiled = compiled
+        self.lines: list[str] = []
+        self._bound: dict[int, str] = {}
+        self.namespace = {
+            "_ib": eval_int_binop,
+            "_fb": eval_float_binop,
+            "_icmp": eval_icmp,
+            "_fcmp": eval_fcmp,
+            "_cast": eval_cast,
+            "_sgn": to_signed,
+            "_f32": _truncate_f32,
+            "_intr": call_intrinsic,
+            "_fmt": format_output,
+            "_rl": reinterpret_loaded,
+            "_inj": engine._maybe_inject,
+            "_Hang": HangFault,
+            "_Det": DetectionTrap,
+        }
+
+    # -- namespace ----------------------------------------------------
+
+    def bind(self, obj) -> str:
+        """Name a non-literal object (type, callee, nan/inf) in the
+        exec namespace and return the name."""
+        key = id(obj)
+        name = self._bound.get(key)
+        if name is None:
+            name = f"_k{len(self._bound)}"
+            self._bound[key] = name
+            self.namespace[name] = obj
+        return name
+
+    def expr(self, value) -> str:
+        """Side-effect-free source expression for an operand."""
+        if isinstance(value, Constant):
+            constant = value.value
+            if isinstance(constant, float) and (
+                    constant != constant or constant in
+                    (float("inf"), float("-inf"))):
+                return self.bind(constant)  # no nan/inf literals
+            return repr(constant)
+        if isinstance(value, GlobalVariable):
+            return repr(self.engine.layout.addresses[value.name])
+        if isinstance(value, Argument):
+            return f"slots[{value.index}]"
+        if isinstance(value, Instruction):
+            return f"slots[{self.compiled.slot_of[id(value)]}]"
+        raise InterpreterBug(f"cannot fetch {value!r}")
+
+    def signed_expr(self, value, bits: int) -> str:
+        if isinstance(value, Constant) and not isinstance(value.value, float):
+            return repr(to_signed(value.value, bits))
+        return f"_sgn({self.expr(value)}, {bits})"
+
+    # -- whole-function assembly --------------------------------------
+
+    def build(self):
+        cblocks = list(self.compiled.blocks.values())
+        for cblock in cblocks:
+            self.emit_block_fn(cblock, inject=False)
+        covered = [self.emit_block_fn(cblock, inject=True)
+                   for cblock in cblocks]
+        source = "\n".join(self.lines) + "\n"
+        code = compile(
+            source, f"<codegen:{self.compiled.function.name}>", "exec"
+        )
+        namespace = self.namespace
+        exec(code, namespace)
+        fast = [namespace[f"_fast{i}"] for i in range(len(cblocks))]
+        inject = [namespace[f"_inj{i}"] for i in range(len(cblocks))]
+        return fast, inject, [frozenset(c) for c in covered], source
+
+    def emit_block_fn(self, cblock, inject: bool) -> set:
+        """One block function: superblock body + phi moves + dispatch."""
+        prefix = "_inj" if inject else "_fast"
+        w = self.lines.append
+        w(f"def {prefix}{cblock.local_index}(state, frame):")
+        w("    slots = frame.slots")
+        covered: set[int] = set()
+        current = cblock
+        seen = {id(cblock)}
+        while True:
+            self.emit_block_core(current, inject, covered)
+            term = current.block.terminator
+            if isinstance(term, Ret):
+                value = ("None" if term.value is None
+                         else self.expr(term.value))
+                w(f"    state.ret_value = {value}")
+                w("    return -1")
+                return covered
+            if not isinstance(term, Branch):
+                raise InterpreterBug(f"unknown terminator {term!r}")
+            if not term.is_conditional:
+                succ = self.compiled.blocks[term.true_block]
+                if id(succ) not in seen and len(seen) < CHAIN_LIMIT:
+                    # Straight-line superblock: inline the successor's
+                    # entire iteration (phi moves first, then its body).
+                    self.emit_phi_moves(current, succ, inject, covered, 1)
+                    seen.add(id(succ))
+                    current = succ
+                    continue
+                self.emit_phi_moves(current, succ, inject, covered, 1)
+                w(f"    return {succ.local_index}")
+                return covered
+            true_succ = self.compiled.blocks[term.true_block]
+            false_succ = self.compiled.blocks[term.false_block]
+            w(f"    if {self.expr(term.cond)}:")
+            self.emit_phi_moves(current, true_succ, inject, covered, 2)
+            w(f"        return {true_succ.local_index}")
+            self.emit_phi_moves(current, false_succ, inject, covered, 1)
+            w(f"    return {false_succ.local_index}")
+            return covered
+
+    def emit_block_core(self, cblock, inject: bool, covered: set) -> None:
+        """Cost, budget check, block count, and steps of one block —
+        the same order as one iteration of the closure tier's loop."""
+        w = self.lines.append
+        w(f"    state.dynamic_count += {cblock.cost}")
+        w("    if state.dynamic_count > state.budget:")
+        w("        raise _Hang(state.dynamic_count)")
+        w(f"    state.block_counts[{cblock.ordinal}] += 1")
+        for step_index, inst in enumerate(cblock.step_insts):
+            self.emit_step(inst, step_index, inject, covered)
+
+    def emit_phi_moves(self, pred, succ, inject: bool, covered: set,
+                       depth: int) -> None:
+        """Parallel phi copy for the edge ``pred -> succ``: evaluate
+        every source first, then assign (with per-phi injection checks
+        in the inject variant) — exactly the closure tier's order."""
+        phis = succ.block.phis()
+        if not phis:
+            return
+        w = self.lines.append
+        ind = "    " * depth
+        moves = [
+            (self.compiled.slot_of[id(phi)],
+             self.expr(phi.value_for(pred.block)), phi.iid, phi.type)
+            for phi in phis
+        ]
+        if len(moves) == 1 and not inject:
+            dest, source, _iid, _type = moves[0]
+            w(f"{ind}slots[{dest}] = {source}")
+            return
+        for index, (_dest, source, _iid, _type) in enumerate(moves):
+            w(f"{ind}_p{index} = {source}")
+        for index, (dest, _source, iid, value_type) in enumerate(moves):
+            if inject:
+                covered.add(iid)
+                w(f"{ind}if state.inject_iid == {iid}:")
+                w(f"{ind}    _p{index} = "
+                  f"_inj(state, _p{index}, {self.bind(value_type)})")
+            w(f"{ind}slots[{dest}] = _p{index}")
+
+    # -- steps --------------------------------------------------------
+
+    def emit_step(self, inst, step_index: int, inject: bool,
+                  covered: set) -> None:
+        w = self.lines.append
+        if isinstance(inst, Store):
+            w(f"    state.memory.store({self.expr(inst.pointer)}, "
+              f"{self.expr(inst.value)})")
+            return
+        if isinstance(inst, Output):
+            w(f"    state.outputs.append({self.output_expr(inst)})")
+            return
+        if isinstance(inst, Detect):
+            self.emit_detect(inst)
+            return
+        pre, value = self.value_expr(inst, step_index)
+        for line in pre:
+            w(f"    {line}")
+        if not inst.has_result:
+            # Void user call: execute for effect only.
+            w(f"    {value}")
+            return
+        dest = self.compiled.slot_of[id(inst)]
+        if not inject:
+            w(f"    slots[{dest}] = {value}")
+            return
+        covered.add(inst.iid)
+        if value != "_v":
+            w(f"    _v = {value}")
+        w(f"    if state.inject_iid == {inst.iid}:")
+        w(f"        _v = _inj(state, _v, {self.bind(inst.type)})")
+        w(f"    slots[{dest}] = _v")
+
+    def value_expr(self, inst, step_index: int) -> tuple[list[str], str]:
+        """(setup lines, result expression) for a value-producing step.
+
+        The expression may be the temp ``_v`` defined by the setup
+        lines; setup lines and expression are both side-effect-safe to
+        follow with the injection guard.
+        """
+        if isinstance(inst, BinOp):
+            return [], self.binop_expr(inst)
+        if isinstance(inst, ICmp):
+            return [], self.icmp_expr(inst)
+        if isinstance(inst, FCmp):
+            return [], self.fcmp_expr(inst)
+        if isinstance(inst, Cast):
+            return [], self.cast_expr(inst)
+        if isinstance(inst, Select):
+            return [], (f"({self.expr(inst.true_value)} "
+                        f"if {self.expr(inst.cond)} "
+                        f"else {self.expr(inst.false_value)})")
+        if isinstance(inst, GetElementPtr):
+            return [], self.gep_expr(inst)
+        if isinstance(inst, Alloca):
+            return self.alloca_lines(inst), "_v"
+        if isinstance(inst, Load):
+            return self.load_lines(inst), "_v"
+        if isinstance(inst, Call):
+            return [], self.call_expr(inst, step_index)
+        raise InterpreterBug(f"cannot compile {inst!r}")
+
+    def binop_expr(self, inst: BinOp) -> str:
+        op, bits = inst.op, inst.type.bits
+        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+        if inst.type.is_float:
+            sym = _FLOAT_DIRECT.get(op)
+            if sym is None:  # fdiv/frem: zero/NaN special cases
+                return f'_fb("{op}", {a}, {b}, {bits})'
+            core = f"({a} {sym} {b})"
+            return core if bits == 64 else f"_f32{core}"
+        sym = _INT_MASKED.get(op)
+        if sym is not None:
+            return f"(({a} {sym} {b}) & {mask(bits)})"
+        sym = _INT_BITWISE.get(op)
+        if sym is not None:
+            return f"({a} {sym} {b})"
+        # Shifts, divisions, remainders: trap/masking semantics live in
+        # one place (ops.eval_int_binop) for both tiers.
+        return f'_ib("{op}", {a}, {b}, {bits})'
+
+    def icmp_expr(self, inst: ICmp) -> str:
+        predicate, bits = inst.predicate, inst.lhs.type.bits
+        sym = _ICMP_UNSIGNED.get(predicate)
+        if sym is not None:
+            return (f"(1 if {self.expr(inst.lhs)} {sym} "
+                    f"{self.expr(inst.rhs)} else 0)")
+        sym = _ICMP_SIGNED.get(predicate)
+        if sym is not None:
+            return (f"(1 if {self.signed_expr(inst.lhs, bits)} {sym} "
+                    f"{self.signed_expr(inst.rhs, bits)} else 0)")
+        return (f'_icmp("{predicate}", {self.expr(inst.lhs)}, '
+                f'{self.expr(inst.rhs)}, {bits})')
+
+    def fcmp_expr(self, inst: FCmp) -> str:
+        sym = _FCMP_ORDERED.get(inst.predicate)
+        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+        if sym is None:
+            return f'_fcmp("{inst.predicate}", {a}, {b})'
+        # Ordered comparisons are false on NaN (x != x).
+        return (f"(0 if ({a} != {a} or {b} != {b}) "
+                f"else (1 if {a} {sym} {b} else 0))")
+
+    def cast_expr(self, inst: Cast) -> str:
+        op = inst.op
+        a = self.expr(inst.value)
+        if op == "trunc":
+            return f"({a} & {mask(inst.type.bits)})"
+        if op in ("zext", "bitcast"):
+            return a  # operands are already canonical for their width
+        return (f'_cast("{op}", {a}, {self.bind(inst.value.type)}, '
+                f'{self.bind(inst.type)})')
+
+    def gep_expr(self, inst: GetElementPtr) -> str:
+        base = self.expr(inst.base)
+        bits = inst.index.type.bits
+        if isinstance(inst.index, Constant):
+            offset = to_signed(inst.index.value, bits) * inst.elem_size
+            return f"(({base} + {offset}) & {_MASK64})"
+        return (f"(({base} + _sgn({self.expr(inst.index)}, {bits})"
+                f" * {inst.elem_size}) & {_MASK64})")
+
+    def alloca_lines(self, inst: Alloca) -> list[str]:
+        return [
+            f"_v = frame.allocas.get({inst.iid})",
+            "if _v is None:",
+            f"    _v, _owned = state.memory.allocate_stack("
+            f"{inst.count}, {inst.elem_type.size_bytes})",
+            f"    frame.allocas[{inst.iid}] = _v",
+            "    frame.owned.extend(_owned)",
+        ]
+
+    def load_lines(self, inst: Load) -> list[str]:
+        value_type = inst.type
+        default = "0.0" if value_type.is_float else "0"
+        lines = [
+            f"_v = state.memory.load({self.expr(inst.pointer)}, {default})",
+        ]
+        # Same reinterpretation fast path as the closure tier: only a
+        # corrupted address can land on a cell of another type/width.
+        if value_type.is_float:
+            lines.append("if _v.__class__ is not float:")
+        else:
+            lines.append(f"if _v.__class__ is float "
+                         f"or _v > {value_type.max_unsigned}:")
+        lines.append(f"    _v = _rl(_v, {self.bind(value_type)})")
+        return lines
+
+    def call_expr(self, inst: Call, step_index: int) -> str:
+        args = ", ".join(self.expr(argument) for argument in inst.args)
+        callee = inst.callee
+        if (is_intrinsic(callee)
+                and callee not in self.engine.module.functions):
+            return f'_intr("{callee}", [{args}], {self.bind(inst.type)})'
+        target = self.bind(self.engine._compiled[callee])
+        return f"state.call({target}, [{args}], state, {step_index})"
+
+    def output_expr(self, inst: Output) -> str:
+        value_type = inst.value.type
+        a = self.expr(inst.value)
+        if isinstance(value_type, IntType):
+            return f"str(_sgn({a}, {value_type.bits}))"
+        if isinstance(value_type, FloatType):
+            digits = inst.precision if inst.precision is not None else 17
+            return f'"%.{digits}g" % ({a})'
+        return f"_fmt({a}, {self.bind(value_type)}, {inst.precision!r})"
+
+    def emit_detect(self, inst: Detect) -> None:
+        w = self.lines.append
+        a, b = self.expr(inst.original), self.expr(inst.duplicate)
+        message = (f'f"detect #{inst.iid}: '
+                   f'{{{a}!r}} != {{{b}!r}}"')
+        w(f"    if not ({a} == {b}):")
+        if inst.original.type.is_float:
+            # Both NaN: duplicate agrees with the original, no trap.
+            w(f"        if not ({a} != {a} and {b} != {b}):")
+            w(f"            raise _Det({message})")
+        else:
+            w(f"        raise _Det({message})")

@@ -38,6 +38,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable, Value
 from .checkpoint import FrameSnap, GoldenCapture, Snapshot
+from .codegen import TIER_CODEGEN, generate_function, resolve_tier
 from .errors import (
     ArithmeticTrap,
     DetectionTrap,
@@ -82,6 +83,38 @@ class Injection:
     bit: int          # bit position to flip in the destination register
 
 
+def _maybe_inject(state, value, value_type):
+    """Occurrence bookkeeping + bit flip for the armed injection.
+
+    Shared by the closure tier, the codegen tier's inject variants, and
+    the phi-move helper: every code location that can produce the armed
+    instruction's value must route through this exact bookkeeping.
+    """
+    state.occurrence += 1
+    if state.occurrence != state.inject_occurrence:
+        return value
+    state.activated = True
+    return flip_bit_typed(value, state.inject_bit, value_type)
+
+
+def _apply_phi_moves(state, frame, block, previous) -> None:
+    """Parallel phi copy for entering ``block`` from ``previous``.
+
+    Evaluate every incoming value first, then assign with per-phi
+    injection checks — the one definition both interpreter loops (and
+    the codegen tier's block-entry path) share, so they cannot diverge.
+    """
+    if block.phi_moves is None:
+        return
+    moves = block.phi_moves.get(previous)
+    if moves:
+        values = [fetch(frame) for _d, fetch, _i, _t in moves]
+        for (dest, _fetch, iid, value_type), value in zip(moves, values):
+            if state.inject_iid == iid:
+                value = _maybe_inject(state, value, value_type)
+            frame.slots[dest] = value
+
+
 class _Frame:
     """One activation record: value slots plus per-frame alloca cache."""
 
@@ -99,15 +132,18 @@ class _State:
     __slots__ = (
         "memory", "outputs", "dynamic_count", "budget", "block_counts",
         "inject_iid", "inject_occurrence", "inject_bit", "occurrence",
-        "activated", "call_depth", "call",
+        "activated", "call_depth", "call", "ret_value",
     )
 
-    def __init__(self, memory: MemoryState, budget: int):
+    def __init__(self, memory: MemoryState, budget: int, n_blocks: int = 0):
         self.memory = memory
         self.outputs: list[str] = []
         self.dynamic_count = 0
         self.budget = budget
-        self.block_counts: dict = {}
+        #: Dense per-block execution counters, indexed by the engine's
+        #: global block ordinal; converted to the block -> count mapping
+        #: of RunResult at run end.
+        self.block_counts: list[int] = [0] * n_blocks
         self.inject_iid = -1
         self.inject_occurrence = 0
         self.inject_bit = 0
@@ -117,6 +153,8 @@ class _State:
         #: Call dispatch: the engine's ``_call`` for plain runs, or
         #: ``_capture_call`` during an instrumented golden pass.
         self.call = None
+        #: Return-value mailbox of the codegen tier's block functions.
+        self.ret_value = None
 
 
 class _CaptureState(_State):
@@ -126,8 +164,8 @@ class _CaptureState(_State):
                  "max_snapshots")
 
     def __init__(self, memory: MemoryState, budget: int, stride: int,
-                 max_snapshots: int):
-        super().__init__(memory, budget)
+                 max_snapshots: int, n_blocks: int = 0):
+        super().__init__(memory, budget, n_blocks)
         #: Shadow stack of [compiled, frame, cblock, previous, step_index]
         #: records, innermost last; step_index is the position of the
         #: call step a frame is currently suspended at.
@@ -144,7 +182,7 @@ _T_JUMP, _T_CBR, _T_RET = 0, 1, 2
 
 class _CompiledBlock:
     __slots__ = ("block", "steps", "step_insts", "term_kind", "term_payload",
-                 "cost", "phi_moves")
+                 "cost", "phi_moves", "ordinal", "local_index")
 
     def __init__(self, block):
         self.block = block
@@ -158,10 +196,16 @@ class _CompiledBlock:
         self.cost = 0
         #: predecessor _CompiledBlock -> [(dest_slot, fetch, iid, type)]
         self.phi_moves = None
+        #: Module-global index into the dense block-counter array.
+        self.ordinal = -1
+        #: Index into the owning function's codegen dispatch tables.
+        self.local_index = -1
 
 
 class _CompiledFunction:
-    __slots__ = ("function", "n_args", "n_slots", "slot_of", "blocks", "entry")
+    __slots__ = ("function", "n_args", "n_slots", "slot_of", "blocks",
+                 "entry", "cg_fast", "cg_inject", "cg_covered", "cg_iids",
+                 "cg_tables")
 
     def __init__(self, function):
         self.function = function
@@ -175,13 +219,38 @@ class _CompiledFunction:
         self.n_slots = next_slot
         self.blocks: dict = {}
         self.entry = None
+        #: Codegen tier: block functions by local index (None = this
+        #: function runs on the closure tier), their injection-capable
+        #: twins, the per-block-function sets of iids those twins guard,
+        #: and memoized per-injection dispatch tables.
+        self.cg_fast = None
+        self.cg_inject = None
+        self.cg_covered = None
+        self.cg_iids = frozenset()
+        self.cg_tables: dict = {}
+
+    def cg_table(self, inject_iid: int):
+        """Dispatch table for one armed iid: the inject variant is
+        selected only for block functions that guard that iid, so
+        every other block runs with zero injection overhead."""
+        if inject_iid < 0 or inject_iid not in self.cg_iids:
+            return self.cg_fast
+        table = self.cg_tables.get(inject_iid)
+        if table is None:
+            table = [
+                inject if inject_iid in covered else fast
+                for fast, inject, covered in zip(
+                    self.cg_fast, self.cg_inject, self.cg_covered)
+            ]
+            self.cg_tables[inject_iid] = table
+        return table
 
 
 class ExecutionEngine:
     """Compiles a finalized module and executes it (optionally with a fault)."""
 
     def __init__(self, module: Module, max_dynamic: int = 20_000_000,
-                 stack_limit: int = 256):
+                 stack_limit: int = 256, tier: str | None = None):
         if not module.is_finalized:
             raise ValueError("finalize the module before building an engine")
         if "main" not in module.functions:
@@ -197,10 +266,76 @@ class ExecutionEngine:
             self._compiled[function.name] = _CompiledFunction(function)
         for compiled in self._compiled.values():
             self._compile_function(compiled)
+        # Global block ordinals index the dense per-run counter array
+        # shared by both tiers and by checkpoint snapshots.
+        order: list = []
+        ordinals: dict = {}
+        for compiled in self._compiled.values():
+            for local_index, cblock in enumerate(compiled.blocks.values()):
+                cblock.local_index = local_index
+                cblock.ordinal = len(order)
+                ordinals[cblock.block] = cblock.ordinal
+                order.append(cblock.block)
+        self._block_order = order
+        self._ordinals = ordinals
+        self._n_blocks = len(order)
         #: iid -> (home IR block, step position) for the checkpoint layer.
         self._homes: dict[int, tuple] | None = None
+        self.tier = resolve_tier(tier)
+        self.codegen_functions = 0
+        self.codegen_fallbacks = 0
+        self._codegen_built = False
+        self._codegen_on = self.tier == TIER_CODEGEN
+        if self._codegen_on:
+            self._build_codegen()
         global _ENGINE_BUILDS
         _ENGINE_BUILDS += 1
+
+    def _build_codegen(self) -> None:
+        """Generate the codegen tier once, with per-function fallback.
+
+        A function the generator cannot translate simply keeps running
+        on the closure tier (``cg_fast is None``) — the same
+        degradation-over-divergence contract as checkpointing.
+        """
+        if self._codegen_built:
+            return
+        self._codegen_built = True
+        for compiled in self._compiled.values():
+            try:
+                fast, inject, covered, _source = generate_function(
+                    self, compiled
+                )
+            except Exception:
+                self.codegen_fallbacks += 1
+            else:
+                compiled.cg_fast = fast
+                compiled.cg_inject = inject
+                compiled.cg_covered = covered
+                compiled.cg_iids = frozenset().union(*covered)
+                self.codegen_functions += 1
+
+    def configure_tier(self, tier: str | None) -> None:
+        """(Re)select the execution tier for subsequent runs.
+
+        Both representations coexist on one engine, so campaign workers
+        can honor a per-span tier knob without recompiling anything —
+        the engine-reuse invariant in ``tests/fi/test_engine_reuse.py``.
+        """
+        self.tier = resolve_tier(tier)
+        self._codegen_on = self.tier == TIER_CODEGEN
+        if self._codegen_on:
+            self._build_codegen()
+
+    def block_ordinal(self, block) -> int:
+        """Index of an IR block in the dense counter array."""
+        return self._ordinals[block]
+
+    def _block_counts_map(self, counts: list) -> dict:
+        """Dense counter array -> the block -> count mapping of RunResult."""
+        order = self._block_order
+        return {order[index]: count
+                for index, count in enumerate(counts) if count}
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,7 +345,7 @@ class ExecutionEngine:
             budget: int | None = None) -> RunResult:
         """Execute main once; classify crashes/hangs/detections."""
         memory = MemoryState(self.layout)
-        state = _State(memory, budget or self.max_dynamic)
+        state = _State(memory, budget or self.max_dynamic, self._n_blocks)
         state.call = self._call
         if injection is not None:
             target = self.module.instruction(injection.iid)
@@ -242,7 +377,7 @@ class ExecutionEngine:
             dynamic_count=state.dynamic_count,
             crash_reason=crash_reason,
             activated=state.activated,
-            block_counts=state.block_counts,
+            block_counts=self._block_counts_map(state.block_counts),
             footprint_bytes=state.memory.footprint_bytes,
         )
 
@@ -268,35 +403,46 @@ class ExecutionEngine:
         frame = _Frame(compiled.n_slots)
         frame.slots[: compiled.n_args] = args
         try:
+            if self._codegen_on and compiled.cg_fast is not None:
+                return self._cg_run(
+                    compiled, frame, compiled.entry.local_index, state
+                )
             return self._loop(compiled, frame, compiled.entry, None, state)
         finally:
             state.call_depth -= 1
             state.memory.free(frame.owned)
 
+    def _cg_run(self, compiled, frame, index: int, state: _State):
+        """The codegen tier's driver: each generated block function
+        executes one (super)block iteration — successor phi moves
+        included — and returns the next block's local index (-1 = ret)."""
+        table = compiled.cg_table(state.inject_iid)
+        while index >= 0:
+            index = table[index](state, frame)
+        return state.ret_value
+
+    def _enter_block(self, compiled, frame, block, previous, state: _State):
+        """Resume execution at the top of ``block`` (entered from
+        ``previous``) on whichever tier ``compiled`` runs on."""
+        if self._codegen_on and compiled.cg_fast is not None:
+            _apply_phi_moves(state, frame, block, previous)
+            return self._cg_run(compiled, frame, block.local_index, state)
+        return self._loop(compiled, frame, block, previous, state)
+
     def _loop(self, compiled, frame, block, previous, state: _State):
-        """The block dispatch loop, from the top of ``block``.
+        """The closure tier's block dispatch loop, from the top of
+        ``block``.
 
         Keep in lockstep with :meth:`_capture_loop`, which is this loop
         plus shadow-stack/snapshot bookkeeping for the golden pass.
         """
         block_counts = state.block_counts
         while True:
-            if block.phi_moves is not None:
-                moves = block.phi_moves.get(previous)
-                if moves:
-                    # Parallel copy: evaluate all, then assign.
-                    values = [fetch(frame) for _d, fetch, _i, _t in moves]
-                    for (dest, _fetch, iid, value_type), value in zip(
-                            moves, values):
-                        if state.inject_iid == iid:
-                            value = self._maybe_inject(
-                                state, value, value_type
-                            )
-                        frame.slots[dest] = value
+            _apply_phi_moves(state, frame, block, previous)
             state.dynamic_count += block.cost
             if state.dynamic_count > state.budget:
                 raise HangFault(state.dynamic_count)
-            block_counts[block.block] = block_counts.get(block.block, 0) + 1
+            block_counts[block.ordinal] += 1
             for step in block.steps:
                 step(state, frame)
             kind = block.term_kind
@@ -327,7 +473,7 @@ class ExecutionEngine:
         if stride < 1:
             raise ValueError(f"capture stride must be >= 1, got {stride}")
         state = _CaptureState(MemoryState(self.layout), self.max_dynamic,
-                              stride, max_snapshots)
+                              stride, max_snapshots, self._n_blocks)
         state.call = self._capture_call
         try:
             self._capture_call(self._compiled["main"], [], state)
@@ -340,7 +486,7 @@ class ExecutionEngine:
             outcome=OK,
             outputs=state.outputs,
             dynamic_count=state.dynamic_count,
-            block_counts=state.block_counts,
+            block_counts=self._block_counts_map(state.block_counts),
             footprint_bytes=state.memory.footprint_bytes,
         )
         return GoldenCapture(self, result, state.snapshots, stride)
@@ -380,19 +526,11 @@ class ExecutionEngine:
             record[3] = previous
             if state.dynamic_count >= state.next_capture:
                 self._take_snapshot(state)
-            if block.phi_moves is not None:
-                moves = block.phi_moves.get(previous)
-                if moves:
-                    values = [fetch(frame) for _d, fetch, _i, _t in moves]
-                    for (dest, _fetch, iid, value_type), value in zip(
-                            moves, values):
-                        if state.inject_iid == iid:
-                            value = self._maybe_inject(state, value, value_type)
-                        frame.slots[dest] = value
+            _apply_phi_moves(state, frame, block, previous)
             state.dynamic_count += block.cost
             if state.dynamic_count > state.budget:
                 raise HangFault(state.dynamic_count)
-            block_counts[block.block] = block_counts.get(block.block, 0) + 1
+            block_counts[block.ordinal] += 1
             for step in block.steps:
                 step(state, frame)
             kind = block.term_kind
@@ -428,7 +566,7 @@ class ExecutionEngine:
             stack_cursor=memory.stack_cursor,
             footprint_bytes=memory.footprint_bytes,
             outputs_len=len(state.outputs),
-            block_counts=dict(state.block_counts),
+            block_counts=list(state.block_counts),
         ))
         if len(state.snapshots) >= state.max_snapshots:
             state.next_capture = state.budget + 1  # schedule exhausted
@@ -475,7 +613,7 @@ class ExecutionEngine:
         state.call = self._call
         state.outputs = capture.result.outputs[: snapshot.outputs_len]
         state.dynamic_count = snapshot.dynamic_count
-        state.block_counts = dict(snapshot.block_counts)
+        state.block_counts = list(snapshot.block_counts)
         if injection is not None:
             target = self.module.instruction(injection.iid)
             if not target.has_result:
@@ -511,7 +649,7 @@ class ExecutionEngine:
             dynamic_count=state.dynamic_count,
             crash_reason=crash_reason,
             activated=state.activated,
-            block_counts=state.block_counts,
+            block_counts=self._block_counts_map(state.block_counts),
             footprint_bytes=state.memory.footprint_bytes,
         )
 
@@ -543,8 +681,8 @@ class ExecutionEngine:
                 return self._loop_from(
                     compiled, frame, cblock, frec.step_index + 1, state
                 )
-            return self._loop(compiled, frame, frec.cblock, frec.previous,
-                              state)
+            return self._enter_block(compiled, frame, frec.cblock,
+                                     frec.previous, state)
         finally:
             state.call_depth -= 1
             state.memory.free(frame.owned)
@@ -563,7 +701,7 @@ class ExecutionEngine:
         else:  # _T_CBR
             fetch, true_block, false_block = cblock.term_payload
             block = true_block if fetch(frame) else false_block
-        return self._loop(compiled, frame, block, cblock, state)
+        return self._enter_block(compiled, frame, block, cblock, state)
 
     # ------------------------------------------------------------------
     # Compilation
@@ -672,14 +810,9 @@ class ExecutionEngine:
             return self._step_detect(compiled, inst)
         raise InterpreterBug(f"cannot compile {inst!r}")
 
-    @staticmethod
-    def _maybe_inject(state: _State, value, value_type):
-        """Occurrence bookkeeping + bit flip for the armed injection."""
-        state.occurrence += 1
-        if state.occurrence != state.inject_occurrence:
-            return value
-        state.activated = True
-        return flip_bit_typed(value, state.inject_bit, value_type)
+    #: One shared definition (module level) serves both tiers; kept as a
+    #: static method so the step closures below read naturally.
+    _maybe_inject = staticmethod(_maybe_inject)
 
     def _step_binop(self, compiled, inst: BinOp):
         fa = self._fetch(compiled, inst.lhs)

@@ -105,7 +105,7 @@ class TestFaultFreeResume:
         snapshot = capture.snapshots[len(capture.snapshots) // 2]
         cells = dict(snapshot.cells)
         valid = set(snapshot.valid)
-        blocks = dict(snapshot.block_counts)
+        blocks = list(snapshot.block_counts)
         capture.resume(snapshot)
         capture.resume(snapshot)
         assert snapshot.cells == cells
