@@ -16,9 +16,13 @@ set the environment variables below for a fuller (slower) run:
     REPRO_FI_CHECKPOINT_STRIDE=500
                                 dynamic instructions between golden
                                 snapshots (0 = auto)
-    REPRO_INTERP_TIER=closure   interpreter execution tier (codegen or
-                                closure; default codegen — outcomes are
-                                bit-identical either way)
+    REPRO_INTERP_TIER=closure   interpreter execution tier (codegen,
+                                closure, or batch; default codegen —
+                                outcomes are bit-identical on every tier)
+    REPRO_BATCH_LANES=64        trials per lockstep group on the batch
+                                tier (0 = tier default; a wall-clock
+                                knob only — counts are identical for
+                                any lane count)
     REPRO_CACHE_DIR=.repro-cache
                                 artifact-cache root (CI restores this
                                 across runs); unset = .repro-cache/
@@ -79,6 +83,7 @@ def harness_config() -> ExperimentConfig:
         fi_checkpoint=_flag_env("REPRO_FI_CHECKPOINT", True),
         fi_checkpoint_stride=_int_env("REPRO_FI_CHECKPOINT_STRIDE", 0),
         interp_tier=os.environ.get("REPRO_INTERP_TIER") or None,
+        batch_lanes=_int_env("REPRO_BATCH_LANES", 0),
     )
 
 

@@ -29,6 +29,14 @@ Three phases, selectable with ``--only`` (default: all):
    threshold (plus a measurable campaign speedup on top of
    checkpointing).
 
+5. **batch-tier** — FI campaigns on every registered benchmark, batch
+   tier vs codegen tier.  Campaign counts must be bit-identical at 1,
+   8 and 64 lanes with no scalar fallbacks, lanes must actually peel
+   (divergences observed), and 1000-run cold campaigns on the
+   compute-dense subset (hotspot, sad, blackscholes, lulesh) must beat
+   codegen by the geomean speedup threshold.  Requires numpy (skipped
+   with a notice when absent — the tier then degrades to codegen).
+
 Exits non-zero with a one-line reason on the first failed check.
 """
 
@@ -240,6 +248,88 @@ def interp_codegen(speedup: float, runs: int) -> None:
     )
 
 
+#: Benchmarks dense enough in straight-line arithmetic for lockstep
+#: execution to amortize its per-block dispatch; branch-dominated
+#: programs (pathfinder, libquantum) spend their time on the scalar
+#: drain path and sit near 1x, which the nightly benchmark reports but
+#: CI does not gate on.
+BATCH_SPEED_BENCHMARKS = ("hotspot", "sad", "blackscholes", "lulesh")
+BATCH_LANE_COUNTS = (1, 8, 64)
+
+
+def batch_tier(speedup: float, runs: int) -> None:
+    """Batch tier vs codegen: identical counts at every lane count,
+    faster cold campaigns where there is compute to amortize."""
+    from repro.interp import TIER_BATCH
+    from repro.interp.batch import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        print("   numpy not installed: batch tier degrades to codegen "
+              "execution; nothing to differentiate")
+        return
+
+    divergences = 0
+    for name in BENCHMARK_NAMES:
+        module = build_module(name, "test")
+        reference = FaultInjector(
+            module, interp_tier=TIER_CODEGEN
+        ).campaign(120, seed=5)
+        for lanes in BATCH_LANE_COUNTS:
+            result = FaultInjector(
+                module, interp_tier=TIER_BATCH, batch_lanes=lanes
+            ).campaign(120, seed=5)
+            check(
+                result.counts == reference.counts,
+                f"{name}: batch campaign counts bit-identical to codegen "
+                f"at {lanes} lanes",
+            )
+            check(
+                result.batch_fallbacks == 0,
+                f"{name}: no groups fell back to scalar execution",
+            )
+            divergences += result.batch_divergences
+    check(
+        divergences > 0,
+        f"multi-lane groups exercised the peel-and-drain path "
+        f"({divergences:,} divergences)",
+    )
+
+    speedups = []
+    for name in BATCH_SPEED_BENCHMARKS:
+        module = build_module(name, "test")
+        codegen = FaultInjector(
+            module, interp_tier=TIER_CODEGEN, checkpoint=False
+        )
+        started = time.perf_counter()
+        codegen_result = codegen.run_span(0, runs, 1)
+        codegen_seconds = time.perf_counter() - started
+
+        batch = FaultInjector(
+            module, interp_tier=TIER_BATCH, checkpoint=False,
+            batch_lanes=64,
+        )
+        started = time.perf_counter()
+        batch_result = batch.run_span(0, runs, 1)
+        batch_seconds = time.perf_counter() - started
+
+        check(
+            batch_result.counts == codegen_result.counts,
+            f"{name}: 64-lane cold campaign counts bit-identical",
+        )
+        speedups.append(codegen_seconds / batch_seconds)
+        print(f"   {name}: codegen {codegen_seconds:.2f}s, batch "
+              f"{batch_seconds:.2f}s ({speedups[-1]:.2f}x)")
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1.0 / len(speedups)
+    check(
+        geomean >= speedup,
+        f"batch campaigns are >={speedup:g}x faster (geomean) on the "
+        f"compute-dense subset (got {geomean:.2f}x)",
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -249,7 +339,8 @@ def main() -> None:
     )
     parser.add_argument(
         "--only", action="append",
-        choices=("fig5", "remodel", "fi-checkpoint", "interp-codegen"),
+        choices=("fig5", "remodel", "fi-checkpoint", "interp-codegen",
+                 "batch-tier"),
         default=None,
         help="run only the named phase (repeatable; default: all)",
     )
@@ -259,6 +350,8 @@ def main() -> None:
     parser.add_argument("--fi-checkpoint-runs", type=int, default=1000)
     parser.add_argument("--interp-codegen-speedup", type=float, default=2.0)
     parser.add_argument("--interp-campaign-runs", type=int, default=600)
+    parser.add_argument("--batch-tier-speedup", type=float, default=2.0)
+    parser.add_argument("--batch-campaign-runs", type=int, default=1000)
     args = parser.parse_args()
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-diff-")
@@ -266,7 +359,7 @@ def main() -> None:
     print(f"artifact cache: {cache_dir}")
 
     phases = args.only or ["fig5", "remodel", "fi-checkpoint",
-                           "interp-codegen"]
+                           "interp-codegen", "batch-tier"]
     if "fig5" in phases:
         fig5_replay(args.fig5_speedup)
     if "remodel" in phases:
@@ -276,6 +369,8 @@ def main() -> None:
     if "interp-codegen" in phases:
         interp_codegen(args.interp_codegen_speedup,
                        args.interp_campaign_runs)
+    if "batch-tier" in phases:
+        batch_tier(args.batch_tier_speedup, args.batch_campaign_runs)
     print("differential check passed")
 
 

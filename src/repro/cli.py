@@ -26,7 +26,7 @@ from .fi.campaign import OUTCOMES, CampaignResult
 from .fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
-from .interp.codegen import TIER_CLOSURE, TIER_CODEGEN
+from .interp.codegen import TIER_BATCH, TIER_CLOSURE, TIER_CODEGEN
 from .ir.module import Module
 from .ir.printer import format_instruction, print_module
 from .opt.pipeline import optimize
@@ -155,10 +155,15 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_interp_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interp-tier", default=None,
-                        choices=(TIER_CODEGEN, TIER_CLOSURE),
+                        choices=(TIER_CODEGEN, TIER_CLOSURE, TIER_BATCH),
                         help="interpreter execution tier (default: "
                              "REPRO_INTERP_TIER env, else codegen; "
-                             "outcomes are identical either way)")
+                             "outcomes are identical on every tier)")
+    parser.add_argument("--batch-lanes", type=int, default=0,
+                        metavar="N",
+                        help="trials per lockstep group on the batch "
+                             "tier (0 = tier default; counts are "
+                             "identical for any lane count)")
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -323,6 +328,7 @@ def _run_campaign(args, runs: int) -> CampaignResult:
             checkpoint=args.checkpoint,
             checkpoint_stride=args.checkpoint_stride,
             interp_tier=args.interp_tier,
+            batch_lanes=args.batch_lanes,
         ),
     )
 
@@ -359,6 +365,11 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
                 tier += (f" ({campaign.codegen_functions} functions "
                          f"compiled, {campaign.codegen_fallbacks} "
                          f"fallbacks)")
+            elif campaign.interp_tier == TIER_BATCH:
+                tier += (f" ({campaign.batch_lanes} lanes, "
+                         f"{campaign.batch_divergences} divergences"
+                         + (f", {campaign.batch_fallbacks} fallbacks"
+                            if campaign.batch_fallbacks else "") + ")")
             print(tier, file=out)
     _print_cache_summary(out)
 
@@ -419,6 +430,7 @@ def _cmd_experiment(args, out) -> int:
         fi_checkpoint=args.checkpoint,
         fi_checkpoint_stride=args.checkpoint_stride,
         interp_tier=args.interp_tier,
+        batch_lanes=args.batch_lanes,
     )
     workspace = Workspace(config)
     names = list(EXPERIMENTS) if args.id == "all" else [args.id]

@@ -15,6 +15,7 @@ import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
+from ..interp.codegen import TIER_BATCH
 from ..interp.engine import ExecutionEngine, Injection
 from ..interp.result import CRASH, DETECTED, HANG
 from ..ir.module import Module
@@ -72,8 +73,9 @@ class CampaignResult:
     #: True when a checkpoint path failed and trials fell back to cold
     #: full runs (counts are bit-identical either way).
     checkpoint_degraded: bool = False
-    #: Interpreter tier that executed the campaign ("codegen" or
-    #: "closure"); empty for results that never ran (e.g. bare merges).
+    #: Interpreter tier that executed the campaign ("codegen",
+    #: "closure" or "batch"); empty for results that never ran (e.g.
+    #: bare merges).
     interp_tier: str = ""
     #: Codegen tier statistics from the executing engine: functions
     #: successfully compiled to generated source, and functions that
@@ -81,6 +83,13 @@ class CampaignResult:
     #: takes the max rather than summing across workers.
     codegen_functions: int = 0
     codegen_fallbacks: int = 0
+    #: Batch tier statistics: the lane count groups ran with (gauge,
+    #: merged by max), lanes that left lockstep and drained on the
+    #: scalar tier, and whole groups that failed and re-ran their
+    #: trials scalar (counts are bit-identical either way).
+    batch_lanes: int = 0
+    batch_divergences: int = 0
+    batch_fallbacks: int = 0
 
     @property
     def total(self) -> int:
@@ -147,6 +156,11 @@ class CampaignResult:
         merged.codegen_fallbacks = max(
             self.codegen_fallbacks, other.codegen_fallbacks
         )
+        merged.batch_lanes = max(self.batch_lanes, other.batch_lanes)
+        merged.batch_divergences = (
+            self.batch_divergences + other.batch_divergences
+        )
+        merged.batch_fallbacks = self.batch_fallbacks + other.batch_fallbacks
         return merged
 
     # -- artifact-cache serialization ----------------------------------
@@ -166,6 +180,9 @@ class CampaignResult:
             "interp_tier": self.interp_tier,
             "codegen_functions": self.codegen_functions,
             "codegen_fallbacks": self.codegen_fallbacks,
+            "batch_lanes": self.batch_lanes,
+            "batch_divergences": self.batch_divergences,
+            "batch_fallbacks": self.batch_fallbacks,
         }
 
     @classmethod
@@ -196,6 +213,9 @@ class CampaignResult:
             interp_tier=str(data.get("interp_tier", "")),
             codegen_functions=int(data.get("codegen_functions", 0)),
             codegen_fallbacks=int(data.get("codegen_fallbacks", 0)),
+            batch_lanes=int(data.get("batch_lanes", 0)),
+            batch_divergences=int(data.get("batch_divergences", 0)),
+            batch_fallbacks=int(data.get("batch_fallbacks", 0)),
         )
         result.from_cache = True
         return result
@@ -219,13 +239,19 @@ class FaultInjector:
     def __init__(self, module: Module, engine: ExecutionEngine | None = None,
                  hang_multiplier: int = 10, golden=None,
                  checkpoint: bool = True, checkpoint_stride: int = 0,
-                 max_snapshots: int = 192, interp_tier: str | None = None):
+                 max_snapshots: int = 192, interp_tier: str | None = None,
+                 batch_lanes: int = 0):
         self.module = module
         self.engine = engine or ExecutionEngine(module, tier=interp_tier)
         self.checkpoint = checkpoint
         self.checkpoint_stride = checkpoint_stride
         self.max_snapshots = max_snapshots
         self.checkpoint_degraded = False
+        #: Lanes per lockstep group on the batch tier; <= 0 picks the
+        #: tier's default.  Irrelevant (and harmless) on scalar tiers.
+        self.batch_lanes = batch_lanes
+        self.batch_divergences = 0
+        self.batch_fallbacks = 0
         self._capture = None
         # ``golden`` may be a cached GoldenSummary (see repro.cache),
         # skipping the fault-free reference execution entirely — the
@@ -292,6 +318,29 @@ class FaultInjector:
         """
         if tier is not None:
             self.engine.configure_tier(tier)
+
+    def configure_batch(self, lanes: int) -> None:
+        """Set the lockstep group width for subsequent batch-tier spans."""
+        self.batch_lanes = lanes
+
+    def _batch_active(self) -> bool:
+        """True when trials should run as lockstep groups.
+
+        The batch tier degrades to plain codegen execution when numpy
+        is not installed (the package's base dependencies are empty) —
+        counts are bit-identical either way, so this mirrors the
+        checkpoint/worker-pool degradation policy.
+        """
+        if self.engine.tier != TIER_BATCH:
+            return False
+        from ..interp.batch import HAVE_NUMPY
+        return HAVE_NUMPY
+
+    def _effective_lanes(self) -> int:
+        if self.batch_lanes > 0:
+            return self.batch_lanes
+        from ..interp.batch import DEFAULT_BATCH_LANES
+        return DEFAULT_BATCH_LANES
 
     def _stamp_tier(self, result: CampaignResult) -> None:
         """Record which tier executed a result plus its codegen stats."""
@@ -415,13 +464,16 @@ class FaultInjector:
             )
         else:
             scheduled = [(None, injection) for injection in trials]
-        for snapshot, injection in scheduled:
-            outcome, executed, skipped = self._execute_trial(
-                injection, capture, snapshot
-            )
-            result.counts[outcome] += 1
-            result.dynamic_instructions += executed
-            result.skipped_instructions += skipped
+        if self._batch_active():
+            self._run_scheduled_batch(scheduled, capture, result)
+        else:
+            for snapshot, injection in scheduled:
+                outcome, executed, skipped = self._execute_trial(
+                    injection, capture, snapshot
+                )
+                result.counts[outcome] += 1
+                result.dynamic_instructions += executed
+                result.skipped_instructions += skipped
         result.checkpointed = capture is not None
         result.checkpoint_degraded = self.checkpoint_degraded
         self._stamp_tier(result)
@@ -429,6 +481,60 @@ class FaultInjector:
         result.wall_seconds = elapsed
         result.cpu_seconds = elapsed
         return result
+
+    def _run_scheduled_batch(self, scheduled, capture,
+                             result: CampaignResult) -> None:
+        """Execute a span's scheduled trials as lockstep groups.
+
+        Consecutive trials of the (fork-point-sorted) schedule share a
+        group; the group restores from the *earliest* lane's snapshot,
+        which is sound for every lane because occurrence prefixes are
+        monotone along the golden trace.  A group that fails for any
+        reason re-runs its trials one by one on the scalar path
+        (``batch_fallbacks``) — counts are never lost or changed.
+        """
+        lanes = self._effective_lanes()
+        runner = self.engine.batch_runner()
+        result.batch_lanes = max(result.batch_lanes, lanes)
+        for start in range(0, len(scheduled), lanes):
+            chunk = scheduled[start:start + lanes]
+            snapshot = chunk[0][0]
+            trials = [injection for _snapshot, injection in chunk]
+            try:
+                if (snapshot is not None and capture is not None
+                        and self.checkpoint):
+                    occurrences = [
+                        capture.prefix_occurrence(snapshot, injection.iid)
+                        for injection in trials
+                    ]
+                    group = runner.run_group(
+                        trials, snapshot=snapshot,
+                        base_outputs=capture.result.outputs[
+                            : snapshot.outputs_len
+                        ],
+                        occurrences=occurrences, budget=self.hang_budget,
+                    )
+                else:
+                    group = runner.run_group(
+                        trials, budget=self.hang_budget
+                    )
+            except Exception:
+                self.batch_fallbacks += 1
+                result.batch_fallbacks += 1
+                for snap, injection in chunk:
+                    outcome, executed, skipped = self._execute_trial(
+                        injection, capture, snap
+                    )
+                    result.counts[outcome] += 1
+                    result.dynamic_instructions += executed
+                    result.skipped_instructions += skipped
+                continue
+            for trial_result in group.results:
+                result.counts[self._classify(trial_result)] += 1
+            result.dynamic_instructions += group.executed
+            result.skipped_instructions += group.skipped
+            self.batch_divergences += group.divergences
+            result.batch_divergences += group.divergences
 
     def campaign(self, n: int, seed: int = 0) -> CampaignResult:
         """Statistical campaign: n random faults over the whole program."""

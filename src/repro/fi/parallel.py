@@ -105,11 +105,16 @@ class CampaignSettings:
     checkpoint: bool = True
     #: Snapshot stride in dynamic instructions; 0 = auto.
     checkpoint_stride: int = 0
-    #: Interpreter tier ("codegen"/"closure"); None keeps each engine's
-    #: resolved default.  Counts are invariant to the tier (the CI
-    #: differential enforces bit-identity), so — like the checkpoint
+    #: Interpreter tier ("codegen"/"closure"/"batch"); None keeps each
+    #: engine's resolved default.  Counts are invariant to the tier (the
+    #: CI differential enforces bit-identity), so — like the checkpoint
     #: knobs — it is deliberately *not* part of the campaign cache key.
     interp_tier: str | None = None
+    #: Lanes per lockstep group on the batch tier; <= 0 picks the
+    #: tier's default.  Another wall-clock-only knob: counts are
+    #: bit-identical at every lane count, so it too stays *out* of the
+    #: campaign cache key.
+    batch_lanes: int = 0
 
     def effective_round_size(self) -> int:
         """Round size the driver will use under early stopping (0 when
@@ -165,17 +170,21 @@ def _span_perf(result: CampaignResult) -> dict:
         "interp_tier": result.interp_tier,
         "codegen_functions": result.codegen_functions,
         "codegen_fallbacks": result.codegen_fallbacks,
+        "batch_lanes": result.batch_lanes,
+        "batch_divergences": result.batch_divergences,
+        "batch_fallbacks": result.batch_fallbacks,
     }
 
 
 def _run_span_task(task) -> tuple[dict[str, int], float, dict]:
     global _WORKER_SPEC, _WORKER_INJECTOR
-    spec, start, count, campaign_seed, checkpoint, stride, tier = task
+    spec, start, count, campaign_seed, checkpoint, stride, tier, lanes = task
     if _WORKER_INJECTOR is None or _WORKER_SPEC != spec:
         _WORKER_INJECTOR = materialize_injector(spec, interp_tier=tier)
         _WORKER_SPEC = spec
     _WORKER_INJECTOR.configure_checkpoints(checkpoint, stride)
     _WORKER_INJECTOR.configure_tier(tier)
+    _WORKER_INJECTOR.configure_batch(lanes)
     result = _WORKER_INJECTOR.run_span(start, count, campaign_seed)
     return result.counts, result.cpu_seconds, _span_perf(result)
 
@@ -217,17 +226,23 @@ class ParallelCampaign:
 
     def _spans(self, start: int, count: int, seed: int,
                spec: ModuleSpec | None) -> list:
-        chunk = self.settings.chunk_size
+        settings = self.settings
+        chunk = settings.chunk_size
         if chunk <= 0:
-            chunk = math.ceil(count / max(1, self.settings.workers))
+            chunk = math.ceil(count / max(1, settings.workers))
+        if settings.interp_tier == "batch" and settings.batch_lanes > 1:
+            # Lane-sized chunks: a worker's span splits into full
+            # lockstep groups, so no group straddles a span boundary
+            # and runs as a fraction of its width.
+            lanes = settings.batch_lanes
+            chunk = math.ceil(chunk / lanes) * lanes
         spans = []
         offset, end = start, start + count
-        settings = self.settings
         while offset < end:
             size = min(chunk, end - offset)
             spans.append((spec, offset, size, seed,
                           settings.checkpoint, settings.checkpoint_stride,
-                          settings.interp_tier))
+                          settings.interp_tier, settings.batch_lanes))
             offset += size
         return spans
 
@@ -298,6 +313,11 @@ class ParallelCampaign:
                     result.codegen_fallbacks = max(
                         result.codegen_fallbacks, perf["codegen_fallbacks"]
                     )
+                    result.batch_lanes = max(
+                        result.batch_lanes, perf["batch_lanes"]
+                    )
+                    result.batch_divergences += perf["batch_divergences"]
+                    result.batch_fallbacks += perf["batch_fallbacks"]
                 executed += round_runs
                 rounds += 1
                 if self._interval_tight(result):
@@ -332,8 +352,9 @@ class ParallelCampaign:
             settings.checkpoint, settings.checkpoint_stride
         )
         self.injector.configure_tier(settings.interp_tier)
+        self.injector.configure_batch(settings.batch_lanes)
         out = []
-        for _spec, offset, size, _seed, _ckpt, _stride, _tier in self._spans(
+        for _spec, offset, size, *_knobs in self._spans(
                 start, count, seed, None):
             span_result = self.injector.run_span(offset, size, seed)
             out.append((span_result.counts, span_result.cpu_seconds,
@@ -377,6 +398,7 @@ def run_parallel_campaign(
     checkpoint: bool = True,
     checkpoint_stride: int = 0,
     interp_tier: str | None = None,
+    batch_lanes: int = 0,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`ParallelCampaign`."""
     campaign = ParallelCampaign(
@@ -387,7 +409,7 @@ def run_parallel_campaign(
             round_size=round_size, min_runs=min_runs,
             round_timeout=round_timeout,
             checkpoint=checkpoint, checkpoint_stride=checkpoint_stride,
-            interp_tier=interp_tier,
+            interp_tier=interp_tier, batch_lanes=batch_lanes,
         ),
     )
     return campaign.run(runs, seed=seed)

@@ -59,9 +59,13 @@ class ExperimentConfig:
     #: are invariant to both knobs; stride 0 picks one automatically.
     fi_checkpoint: bool = True
     fi_checkpoint_stride: int = 0
-    #: Interpreter tier ("codegen"/"closure"); None = resolved default
-    #: (REPRO_INTERP_TIER env, else codegen).  Outcomes are invariant.
+    #: Interpreter tier ("codegen"/"closure"/"batch"); None = resolved
+    #: default (REPRO_INTERP_TIER env, else codegen).  Outcomes are
+    #: invariant across tiers.
     interp_tier: str | None = None
+    #: Trials per lockstep group on the batch tier (0 = tier default).
+    #: A wall-clock knob only: counts are identical for any lane count.
+    batch_lanes: int = 0
 
 
 #: Small config used by the pytest benchmarks to keep runtimes bounded.
@@ -124,7 +128,8 @@ class BenchmarkContext:
     @cached_property
     def injector(self) -> FaultInjector:
         golden = load_golden_summary(get_cache(), golden_key(self.fingerprint))
-        return FaultInjector(self.module, self.engine, golden=golden)
+        return FaultInjector(self.module, self.engine, golden=golden,
+                             batch_lanes=self.config.batch_lanes)
 
     def model(self, name: str, warm: bool = True) -> Trident:
         """A freshly-built model over the cached profile.
@@ -164,6 +169,7 @@ class BenchmarkContext:
                 checkpoint=config.fi_checkpoint,
                 checkpoint_stride=config.fi_checkpoint_stride,
                 interp_tier=config.interp_tier,
+                batch_lanes=config.batch_lanes,
             ),
         )
 

@@ -1,7 +1,8 @@
 """Execution substrate: compiled interpreter, memory model, intrinsics."""
 
+from .batch import DEFAULT_BATCH_LANES, HAVE_NUMPY, BatchRunner, GroupOutcome
 from .checkpoint import GoldenCapture, Snapshot
-from .codegen import TIER_CLOSURE, TIER_CODEGEN, resolve_tier
+from .codegen import TIER_BATCH, TIER_CLOSURE, TIER_CODEGEN, resolve_tier
 from .engine import ExecutionEngine, Injection, engine_build_count
 from .errors import (
     ArithmeticTrap,
@@ -17,10 +18,11 @@ from .memory import GLOBAL_BASE, STACK_BASE, GlobalLayout, MemoryState
 from .result import CRASH, DETECTED, HANG, OK, RunResult
 
 __all__ = [
-    "ArithmeticTrap", "CRASH", "DETECTED", "DetectionTrap", "ExecutionEngine",
-    "GLOBAL_BASE", "GlobalLayout", "GoldenCapture", "HANG", "HangFault",
-    "INTRINSICS", "Injection", "InterpreterBug", "MemoryFault", "MemoryState",
-    "OK", "RunResult", "RuntimeFault", "STACK_BASE", "Snapshot",
-    "StackOverflow", "TIER_CLOSURE", "TIER_CODEGEN", "call_intrinsic",
-    "engine_build_count", "is_intrinsic", "resolve_tier",
+    "ArithmeticTrap", "BatchRunner", "CRASH", "DEFAULT_BATCH_LANES",
+    "DETECTED", "DetectionTrap", "ExecutionEngine", "GLOBAL_BASE",
+    "GlobalLayout", "GoldenCapture", "GroupOutcome", "HANG", "HAVE_NUMPY",
+    "HangFault", "INTRINSICS", "Injection", "InterpreterBug", "MemoryFault",
+    "MemoryState", "OK", "RunResult", "RuntimeFault", "STACK_BASE",
+    "Snapshot", "StackOverflow", "TIER_BATCH", "TIER_CLOSURE", "TIER_CODEGEN",
+    "call_intrinsic", "engine_build_count", "is_intrinsic", "resolve_tier",
 ]

@@ -1,0 +1,1187 @@
+"""Batch execution tier: N fault-injection trials in numpy lockstep.
+
+Campaign trials of one module share almost all of their execution: every
+trial replays the golden prefix up to its injection point, and most
+faults corrupt a value without (immediately) changing control flow.  The
+batch tier exploits both facts by running a *group* of trials as one
+lockstep execution with one lane per trial:
+
+* **Shared control flow.**  The group maintains a single frame stack,
+  block counters, dynamic-instruction count and memory image.  A slot
+  (or memory cell) holds a plain Python scalar while its value is
+  uniform across lanes — the dominant case, paid for once per group —
+  and becomes a numpy array of per-lane values once any lane diverges.
+  Straight-line arithmetic over diverged values executes as vectorized
+  numpy ops over all lanes at once.
+
+* **Per-lane faults.**  Each lane arms its own :class:`Injection`;
+  occurrence bookkeeping runs per lane, and the armed occurrence flips
+  one bit in that lane's component only (promoting the value to an
+  array on first divergence).
+
+* **Divergence peel and drain.**  Lockstep requires uniform control
+  flow.  A per-lane trap (division, memory fault, detector) finishes
+  that lane in place with its outcome.  A conditional branch whose
+  condition differs across lanes keeps the majority side in lockstep
+  and *peels* each minority lane: its scalar state is materialized as a
+  standard checkpoint :class:`~repro.interp.checkpoint.Snapshot` and
+  drained to completion on the scalar codegen tier via
+  :meth:`~repro.interp.engine.ExecutionEngine.resume_snapshot`.  No
+  count is ever lost — every lane produces exactly the
+  :class:`~repro.interp.result.RunResult` its scalar run would have.
+
+Semantics discipline (see DESIGN.md §10): numpy dtypes never leak.
+Integers live in uint64 arrays (canonical unsigned form of any width;
+uint64 arithmetic wraps mod 2^64, then masks to the type width exactly
+like the scalar tier's ``& mask(bits)``); floats live in float64 arrays
+(f32 results round through ``astype(float32)``, which is the same
+round-to-nearest-even as ``truncate_float``).  Everything trap-raising
+or conversion-sensitive (div/rem, casts, ``frem``, intrinsics, output
+formatting, load reinterpretation) runs per-lane through the *exact*
+helpers of :mod:`repro.interp.ops`, and any value extracted from a lane
+is coerced back to a plain Python ``int``/``float`` first.
+"""
+
+from __future__ import annotations
+
+from ..ir.bitutils import flip_bit_typed, mask, to_signed
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    Detect,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Output,
+    Select,
+    Store,
+)
+from .checkpoint import FrameSnap, Snapshot
+from .engine import _T_CBR, _T_JUMP, _Frame
+from .errors import (
+    ArithmeticTrap,
+    DetectionTrap,
+    HangFault,
+    InterpreterBug,
+    MemoryFault,
+    StackOverflow,
+)
+from .intrinsics import call_intrinsic, is_intrinsic
+from .memory import MemoryState
+from .ops import (
+    default_value,
+    eval_cast,
+    eval_fcmp,
+    eval_float_binop,
+    eval_icmp,
+    eval_int_binop,
+    format_output,
+    reinterpret_loaded,
+)
+from .result import CRASH, DETECTED, HANG, OK, RunResult
+
+try:  # numpy ships with the dev extras, not the (empty) base deps
+    import numpy as np
+
+    HAVE_NUMPY = True
+    _ND = np.ndarray
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    np = None
+    HAVE_NUMPY = False
+
+    class _ND:  # placeholder: `type(x) is _ND` is then always False
+        pass
+
+
+_MASK64 = mask(64)
+
+#: Lane count used when the batch tier is selected without an explicit
+#: ``--batch-lanes``; large enough to amortize lockstep dispatch, small
+#: enough that divergence drains stay short.
+DEFAULT_BATCH_LANES = 16
+
+#: Sentinel for "this lane's cell does not exist" inside object-dtype
+#: memory arrays (a scalar run would have no entry in ``cells`` at all).
+_MISSING = object()
+
+
+class _AllLanesDone(Exception):
+    """Internal unwind signal: every lane of the group has a result."""
+
+
+def _lane_value(value, lane: int):
+    """Extract one lane's component as a plain Python value."""
+    if type(value) is _ND:
+        kind = value.dtype.kind
+        if kind == "f":
+            return float(value[lane])
+        if kind in ("u", "i"):
+            return int(value[lane])
+        return value[lane]  # object arrays hold Python values (or _MISSING)
+    return value
+
+
+def _lane_array(lanes: int, value_type):
+    """Fresh per-lane result array of a register type's dtype."""
+    if value_type.is_float:
+        return np.zeros(lanes, dtype=np.float64)
+    return np.zeros(lanes, dtype=np.uint64)
+
+
+def _promote(value, lanes: int, value_type):
+    """Broadcast a uniform scalar into a fresh per-lane array."""
+    if value_type.is_float:
+        return np.full(lanes, value, dtype=np.float64)
+    return np.full(lanes, value, dtype=np.uint64)
+
+
+def _object_copy(value, lanes: int):
+    """Copy a cell value into a fresh object array of Python values."""
+    out = np.empty(lanes, dtype=object)
+    if type(value) is _ND:
+        if value.dtype.kind == "O":
+            out[:] = value
+        else:
+            out[:] = value.tolist()  # numpy scalars -> Python ints/floats
+    else:
+        out[:] = [value] * lanes
+    return out
+
+
+def _signed_vec(value, bits: int):
+    """Canonical-unsigned lanes -> signed values (int64 array)."""
+    if type(value) is not _ND:
+        return to_signed(value, bits)
+    if bits == 64:
+        return value.astype(np.int64)  # same-width reinterpret
+    signed = value.astype(np.int64)
+    sign_bit = 1 << (bits - 1)
+    return np.where(value >= sign_bit, signed - (1 << bits), signed)
+
+
+def _sext64_vec(value, bits: int):
+    """Sign-extend canonical lanes to 64-bit in the uint64 wrap domain."""
+    if bits == 64:
+        return value
+    sign_bit = 1 << (bits - 1)
+    high = (~mask(bits)) & _MASK64
+    return np.where((value & sign_bit) != 0, value | high, value)
+
+
+def _int_vector_op(op: str, bits: int):
+    """Vectorized integer binop over uint64 lanes, or None if the op
+    must run per-lane (division/remainder can trap per lane)."""
+    bit_mask = mask(bits)
+    if op == "add":
+        return lambda a, b: (a + b) & bit_mask
+    if op == "sub":
+        return lambda a, b: (a - b) & bit_mask
+    if op == "mul":
+        return lambda a, b: (a * b) & bit_mask
+    if op == "and":
+        return lambda a, b: a & b
+    if op == "or":
+        return lambda a, b: a | b
+    if op == "xor":
+        return lambda a, b: a ^ b
+    if op == "shl":
+        return lambda a, b: (a << (b % bits)) & bit_mask
+    if op == "lshr":
+        return lambda a, b: a >> (b % bits)
+    if op == "ashr":
+        def ashr(a, b):
+            shift = b % bits
+            if type(shift) is _ND:
+                # int64 shift counts: a uniform negative dividend must
+                # not meet a uint64 array under NEP 50 promotion.
+                shift = shift.astype(np.int64)
+            shifted = np.right_shift(_signed_vec(a, bits), shift)
+            return shifted.astype(np.uint64) & np.uint64(bit_mask)
+        return ashr
+    return None  # sdiv/udiv/srem/urem: per-lane, trap-capable
+
+
+def _float_vector_op(op: str, bits: int):
+    """Vectorized float binop over float64 lanes, or None (frem runs
+    per-lane through ``eval_float_binop`` for exact fmod parity)."""
+    if op == "fadd":
+        base = lambda a, b: a + b
+    elif op == "fsub":
+        base = lambda a, b: a - b
+    elif op == "fmul":
+        base = lambda a, b: a * b
+    elif op == "fdiv":
+        # IEEE division: numpy's inf/nan specials coincide case-by-case
+        # with eval_float_binop's explicit zero-divisor handling.
+        base = lambda a, b: np.divide(a, b)
+    else:
+        return None
+    if bits == 32:
+        def rounded(a, b):
+            return base(a, b).astype(np.float32).astype(np.float64)
+        return rounded
+    return base
+
+
+def _icmp_vector(pred: str, bits: int):
+    if pred == "eq":
+        return lambda a, b: a == b
+    if pred == "ne":
+        return lambda a, b: a != b
+    if pred == "ult":
+        return lambda a, b: a < b
+    if pred == "ule":
+        return lambda a, b: a <= b
+    if pred == "ugt":
+        return lambda a, b: a > b
+    if pred == "uge":
+        return lambda a, b: a >= b
+    signed = {
+        "slt": lambda a, b: a < b,
+        "sle": lambda a, b: a <= b,
+        "sgt": lambda a, b: a > b,
+        "sge": lambda a, b: a >= b,
+    }[pred]
+    return lambda a, b: signed(_signed_vec(a, bits), _signed_vec(b, bits))
+
+
+def _fcmp_vector(pred: str):
+    # numpy comparisons are already false on NaN, matching eval_fcmp's
+    # ordered semantics — except "one", which needs the NaN mask spelled
+    # out (NaN != x is True elementwise).
+    if pred == "oeq":
+        return lambda a, b: a == b
+    if pred == "one":
+        return lambda a, b: (a != b) & ~np.isnan(a) & ~np.isnan(b)
+    if pred == "olt":
+        return lambda a, b: a < b
+    if pred == "ole":
+        return lambda a, b: a <= b
+    if pred == "ogt":
+        return lambda a, b: a > b
+    if pred == "oge":
+        return lambda a, b: a >= b
+    return None
+
+
+class _GroupState:
+    """Mutable state of one lockstep group (mirrors engine._State)."""
+
+    __slots__ = (
+        "lanes", "live", "live_mask", "live_list", "n_live", "memory",
+        "outputs", "dynamic_count", "budget", "block_counts", "armed",
+        "inject_occurrence", "inject_bit", "occurrence", "activated",
+        "injections", "records", "call_depth", "results", "divergences",
+        "drain_executed",
+    )
+
+    def __init__(self, lanes: int, budget: int):
+        self.lanes = lanes
+        self.live = [True] * lanes
+        #: Same predicate three ways, each serving a different access
+        #: pattern: per-lane checks (list), vectorized branch partition
+        #: (bool array), and sparse iteration once lanes start exiting.
+        self.live_mask = np.ones(lanes, dtype=bool)
+        self.live_list = list(range(lanes))
+        self.n_live = lanes
+        self.memory = None
+        self.outputs: list = []
+        self.dynamic_count = 0
+        self.budget = budget
+        self.block_counts: list[int] = []
+        #: iid -> lanes armed on it (occurrence bookkeeping per lane).
+        self.armed: dict[int, list[int]] = {}
+        self.inject_occurrence = [0] * lanes
+        self.inject_bit = [0] * lanes
+        self.occurrence = [0] * lanes
+        self.activated = [False] * lanes
+        self.injections: list = [None] * lanes
+        #: Shadow stack of [compiled, frame, cblock, previous, step_index]
+        #: records (same shape as the capture pass), so any lane can be
+        #: materialized as a checkpoint Snapshot at a block boundary.
+        self.records: list = []
+        self.call_depth = 0
+        self.results: list = [None] * lanes
+        self.divergences = 0
+        self.drain_executed = 0
+
+
+class GroupOutcome:
+    """Per-lane results plus the group's throughput accounting."""
+
+    __slots__ = ("results", "divergences", "executed", "skipped")
+
+    def __init__(self, results, divergences, executed, skipped):
+        self.results = results
+        self.divergences = divergences
+        self.executed = executed
+        self.skipped = skipped
+
+
+class BatchRunner:
+    """Lockstep executor for groups of trials on one engine.
+
+    Reuses the engine's compiled representation (blocks, operand fetch
+    closures, phi-move tables, terminators) and compiles one extra
+    *batch step* per instruction, lazily and once per engine: a closure
+    with a scalar fast path for uniform operands and numpy paths for
+    diverged ones.  Construction requires numpy.
+    """
+
+    def __init__(self, engine):
+        if not HAVE_NUMPY:
+            raise InterpreterBug("batch tier requires numpy")
+        self.engine = engine
+        self._bsteps: dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_group(self, trials, snapshot: Snapshot | None = None,
+                  base_outputs=None, occurrences=None,
+                  budget: int | None = None) -> GroupOutcome:
+        """Execute one group of trials in lockstep.
+
+        ``trials[i]`` is the :class:`Injection` for lane ``i`` (or None
+        for a fault-free lane).  With ``snapshot`` the whole group
+        restores from one golden-prefix checkpoint; ``occurrences[i]``
+        must then carry ``prefix_occurrence(snapshot, iid_i)`` and
+        ``base_outputs`` the golden outputs as of the snapshot — the
+        same seeding the scalar resume path uses.
+        """
+        engine = self.engine
+        lanes = len(trials)
+        if lanes < 1:
+            raise ValueError("batch group needs at least one lane")
+        sim = _GroupState(lanes, budget or engine.max_dynamic)
+        for lane, injection in enumerate(trials):
+            if injection is None:
+                continue
+            target = engine.module.instruction(injection.iid)
+            if not target.has_result:
+                raise ValueError(
+                    f"instruction #{injection.iid} has no destination register"
+                )
+            if not 0 <= injection.bit < target.type.bits:
+                raise ValueError(
+                    f"bit {injection.bit} out of range for {target.type}"
+                )
+            sim.injections[lane] = injection
+            sim.armed.setdefault(injection.iid, []).append(lane)
+            sim.inject_occurrence[lane] = injection.occurrence
+            sim.inject_bit[lane] = injection.bit
+            if occurrences is not None:
+                sim.occurrence[lane] = occurrences[lane]
+        if snapshot is not None:
+            sim.memory = MemoryState.restored(
+                dict(snapshot.cells), set(snapshot.valid),
+                snapshot.stack_cursor, snapshot.footprint_bytes,
+            )
+            sim.dynamic_count = snapshot.dynamic_count
+            sim.block_counts = list(snapshot.block_counts)
+            sim.outputs = list(base_outputs) if base_outputs else []
+        else:
+            sim.memory = MemoryState(engine.layout)
+            sim.block_counts = [0] * engine._n_blocks
+
+        start_count = sim.dynamic_count
+        with np.errstate(all="ignore"):
+            try:
+                if snapshot is None:
+                    self._bcall(sim, engine._compiled["main"], [], -1)
+                else:
+                    self._bresume_frame(sim, snapshot, 0)
+                self._finish_live(sim, OK, "")
+            except _AllLanesDone:
+                pass
+            except (MemoryFault, ArithmeticTrap, StackOverflow) as fault:
+                self._finish_live(sim, CRASH, str(fault))
+            except HangFault as fault:
+                self._finish_live(sim, HANG, str(fault))
+            except DetectionTrap as fault:
+                self._finish_live(sim, DETECTED, str(fault))
+
+        executed = (sim.dynamic_count - start_count) + sim.drain_executed
+        logical = sum(result.dynamic_count for result in sim.results)
+        return GroupOutcome(
+            sim.results, sim.divergences, executed,
+            max(0, logical - executed),
+        )
+
+    # ------------------------------------------------------------------
+    # Lane lifecycle
+    # ------------------------------------------------------------------
+
+    def _lane_outputs(self, sim: _GroupState, lane: int) -> list[str]:
+        return [
+            entry if type(entry) is str else entry[lane]
+            for entry in sim.outputs
+        ]
+
+    def _retire_lane(self, sim: _GroupState, lane: int) -> None:
+        sim.live[lane] = False
+        sim.live_mask[lane] = False
+        sim.live_list.remove(lane)
+        sim.n_live -= 1
+
+    def _finish_lane(self, sim: _GroupState, lane: int, outcome: str,
+                     reason: str, divergence: bool) -> None:
+        self._retire_lane(sim, lane)
+        if divergence:
+            sim.divergences += 1
+        sim.results[lane] = RunResult(
+            outcome=outcome,
+            outputs=self._lane_outputs(sim, lane),
+            dynamic_count=sim.dynamic_count,
+            crash_reason=reason,
+            activated=sim.activated[lane],
+            block_counts=self.engine._block_counts_map(sim.block_counts),
+            footprint_bytes=sim.memory.footprint_bytes,
+        )
+
+    def _finish_live(self, sim: _GroupState, outcome: str,
+                     reason: str) -> None:
+        for lane in list(sim.live_list):
+            self._finish_lane(sim, lane, outcome, reason, divergence=False)
+
+    def _lane_snapshot(self, sim: _GroupState, lane: int, succ_cblock,
+                       from_cblock) -> Snapshot:
+        """Materialize one lane's scalar state as a checkpoint Snapshot.
+
+        The lane resumes at the top of ``succ_cblock`` entered from
+        ``from_cblock`` (phi moves pending), exactly like the innermost
+        frame of a capture-pass snapshot; outer frames stay suspended at
+        their recorded call steps.
+        """
+        records = sim.records
+        last = len(records) - 1
+        frames = []
+        for index, (compiled, frame, cblock, previous, step) in \
+                enumerate(records):
+            slots = tuple(_lane_value(v, lane) for v in frame.slots)
+            if index < last:
+                frames.append(FrameSnap(
+                    compiled, slots, dict(frame.allocas),
+                    tuple(frame.owned), cblock, previous, step,
+                ))
+            else:
+                frames.append(FrameSnap(
+                    compiled, slots, dict(frame.allocas),
+                    tuple(frame.owned), succ_cblock, from_cblock, -1,
+                ))
+        memory = sim.memory
+        cells = {}
+        for address, value in memory.cells.items():
+            extracted = _lane_value(value, lane)
+            if extracted is not _MISSING:
+                cells[address] = extracted
+        return Snapshot(
+            dynamic_count=sim.dynamic_count,
+            frames=tuple(frames),
+            cells=cells,
+            valid=set(memory.valid),
+            stack_cursor=memory.stack_cursor,
+            footprint_bytes=memory.footprint_bytes,
+            outputs_len=len(sim.outputs),
+            block_counts=list(sim.block_counts),
+        )
+
+    def _peel_lanes(self, sim: _GroupState, lanes, succ_cblock,
+                    from_cblock) -> None:
+        """Drain diverged lanes on the scalar codegen tier."""
+        for lane in lanes:
+            snapshot = self._lane_snapshot(sim, lane, succ_cblock,
+                                           from_cblock)
+            result = self.engine.resume_snapshot(
+                snapshot, sim.injections[lane], sim.budget,
+                occurrence=sim.occurrence[lane],
+                outputs=self._lane_outputs(sim, lane),
+                activated=sim.activated[lane],
+            )
+            self._retire_lane(sim, lane)
+            sim.divergences += 1
+            sim.drain_executed += result.dynamic_count - sim.dynamic_count
+            sim.results[lane] = result
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def _binject(self, sim: _GroupState, value, value_type, lanes_armed):
+        """Per-lane occurrence bookkeeping + bit flip (cf. _maybe_inject).
+
+        Lanes whose flip has fired (and lanes that left the group) are
+        disarmed in place: their occurrence count is frozen at the fire
+        point, so a later peel hands the drain an exact prefix count
+        while the lockstep loop stops paying for bookkeeping.
+        """
+        disarm = False
+        for lane in lanes_armed:
+            if not sim.live[lane]:
+                disarm = True
+                continue
+            sim.occurrence[lane] += 1
+            if sim.occurrence[lane] != sim.inject_occurrence[lane]:
+                continue
+            sim.activated[lane] = True
+            disarm = True
+            if type(value) is _ND:
+                value = value.copy()  # never mutate a shared array
+            else:
+                value = _promote(value, sim.lanes, value_type)
+            value[lane] = flip_bit_typed(
+                _lane_value(value, lane), sim.inject_bit[lane], value_type
+            )
+        if disarm:
+            lanes_armed[:] = [
+                lane for lane in lanes_armed
+                if sim.live[lane]
+                and sim.occurrence[lane] < sim.inject_occurrence[lane]
+            ]
+        return value
+
+    # ------------------------------------------------------------------
+    # Lockstep interpretation loop (mirrors engine._capture_loop)
+    # ------------------------------------------------------------------
+
+    def _bcall(self, sim: _GroupState, compiled, args, caller_step: int):
+        if sim.call_depth >= self.engine.stack_limit:
+            raise StackOverflow(
+                f"call depth exceeded {self.engine.stack_limit}"
+            )
+        sim.call_depth += 1
+        frame = _Frame(compiled.n_slots)
+        frame.slots[: compiled.n_args] = args
+        records = sim.records
+        if records:
+            records[-1][4] = caller_step
+        record = [compiled, frame, compiled.entry, None, -1]
+        records.append(record)
+        try:
+            return self._bloop(sim, compiled, frame, compiled.entry, None,
+                               record)
+        finally:
+            records.pop()
+            sim.call_depth -= 1
+            sim.memory.free(frame.owned)
+
+    def _bphi_moves(self, sim: _GroupState, frame, block, previous) -> None:
+        if block.phi_moves is None:
+            return
+        moves = block.phi_moves.get(previous)
+        if moves:
+            values = [fetch(frame) for _d, fetch, _i, _t in moves]
+            armed = sim.armed
+            for (dest, _fetch, iid, value_type), value in zip(moves, values):
+                lanes_armed = armed.get(iid)
+                if lanes_armed:
+                    value = self._binject(sim, value, value_type, lanes_armed)
+                frame.slots[dest] = value
+
+    def _branch_target(self, sim: _GroupState, frame, cblock):
+        """Resolve a conditional branch; peels minority lanes if the
+        condition diverges across live lanes."""
+        fetch, true_block, false_block = cblock.term_payload
+        cond = fetch(frame)
+        if type(cond) is not _ND:
+            return true_block if cond else false_block
+        taken_live = (cond != 0) & sim.live_mask
+        n_taken = int(taken_live.sum())
+        if n_taken == sim.n_live:
+            return true_block
+        if n_taken == 0:
+            return false_block
+        if 2 * n_taken >= sim.n_live:
+            fallers = np.nonzero(sim.live_mask & ~taken_live)[0].tolist()
+            self._peel_lanes(sim, fallers, false_block, cblock)
+            return true_block
+        takers = np.nonzero(taken_live)[0].tolist()
+        self._peel_lanes(sim, takers, true_block, cblock)
+        return false_block
+
+    def _bloop(self, sim: _GroupState, compiled, frame, block, previous,
+               record):
+        block_counts = sim.block_counts
+        while True:
+            record[2] = block
+            record[3] = previous
+            self._bphi_moves(sim, frame, block, previous)
+            sim.dynamic_count += block.cost
+            if sim.dynamic_count > sim.budget:
+                raise HangFault(sim.dynamic_count)
+            block_counts[block.ordinal] += 1
+            for bstep in self._block_steps(compiled, block):
+                bstep(sim, frame)
+            kind = block.term_kind
+            if kind == _T_JUMP:
+                previous = block
+                block = block.term_payload
+            elif kind == _T_CBR:
+                target = self._branch_target(sim, frame, block)
+                previous = block
+                block = target
+            else:  # _T_RET
+                fetch = block.term_payload
+                return fetch(frame) if fetch is not None else None
+
+    def _bloop_from(self, sim: _GroupState, compiled, frame, cblock,
+                    start: int, record):
+        """Finish a mid-block resumed frame, then rejoin the main loop."""
+        steps = self._block_steps(compiled, cblock)
+        for index in range(start, len(steps)):
+            steps[index](sim, frame)
+        kind = cblock.term_kind
+        if kind == _T_JUMP:
+            block = cblock.term_payload
+        elif kind == _T_CBR:
+            block = self._branch_target(sim, frame, cblock)
+        else:  # _T_RET
+            fetch = cblock.term_payload
+            return fetch(frame) if fetch is not None else None
+        return self._bloop(sim, compiled, frame, block, cblock, record)
+
+    def _bresume_frame(self, sim: _GroupState, snapshot: Snapshot,
+                       depth: int):
+        """Rebuild one suspended activation record in lockstep form
+        (mirrors engine._resume_frame: callee first, then the call's
+        return value placement, then the rest of the block)."""
+        frec = snapshot.frames[depth]
+        compiled = frec.compiled
+        sim.call_depth += 1
+        frame = _Frame(compiled.n_slots)
+        frame.slots[:] = frec.slots
+        frame.allocas.update(frec.allocas)
+        frame.owned.extend(frec.owned)
+        record = [compiled, frame, frec.cblock, frec.previous,
+                  frec.step_index]
+        sim.records.append(record)
+        try:
+            if depth + 1 < len(snapshot.frames):
+                value = self._bresume_frame(sim, snapshot, depth + 1)
+                cblock = frec.cblock
+                inst = cblock.step_insts[frec.step_index]
+                if inst.has_result:
+                    lanes_armed = sim.armed.get(inst.iid)
+                    if lanes_armed:
+                        value = self._binject(sim, value, inst.type,
+                                              lanes_armed)
+                    frame.slots[compiled.slot_of[id(inst)]] = value
+                return self._bloop_from(sim, compiled, frame, cblock,
+                                        frec.step_index + 1, record)
+            return self._bloop(sim, compiled, frame, frec.cblock,
+                               frec.previous, record)
+        finally:
+            sim.records.pop()
+            sim.call_depth -= 1
+            sim.memory.free(frame.owned)
+
+    # ------------------------------------------------------------------
+    # Per-lane evaluation helpers
+    # ------------------------------------------------------------------
+
+    def _per_lane_binop(self, sim: _GroupState, evaluate, a, b, value_type):
+        """Trap-capable binop, lane by lane, through the scalar helper."""
+        out = _lane_array(sim.lanes, value_type)
+        crashed = []
+        for lane in sim.live_list:
+            try:
+                out[lane] = evaluate(_lane_value(a, lane),
+                                     _lane_value(b, lane))
+            except ArithmeticTrap as fault:
+                crashed.append((lane, str(fault)))
+        for lane, reason in crashed:
+            self._finish_lane(sim, lane, CRASH, reason, divergence=True)
+        if sim.n_live == 0:
+            raise _AllLanesDone
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch-step compilation
+    # ------------------------------------------------------------------
+
+    def _block_steps(self, compiled, cblock):
+        steps = self._bsteps.get(id(cblock))
+        if steps is None:
+            steps = [
+                self._compile_bstep(compiled, inst, index)
+                for index, inst in enumerate(cblock.step_insts)
+            ]
+            self._bsteps[id(cblock)] = steps
+        return steps
+
+    def _compile_bstep(self, compiled, inst, step_index):
+        if isinstance(inst, BinOp):
+            return self._bstep_binop(compiled, inst)
+        if isinstance(inst, ICmp):
+            return self._bstep_icmp(compiled, inst)
+        if isinstance(inst, FCmp):
+            return self._bstep_fcmp(compiled, inst)
+        if isinstance(inst, Cast):
+            return self._bstep_cast(compiled, inst)
+        if isinstance(inst, Alloca):
+            return self._bstep_alloca(compiled, inst)
+        if isinstance(inst, Load):
+            return self._bstep_load(compiled, inst)
+        if isinstance(inst, Store):
+            return self._bstep_store(compiled, inst)
+        if isinstance(inst, GetElementPtr):
+            return self._bstep_gep(compiled, inst)
+        if isinstance(inst, Call):
+            return self._bstep_call(compiled, inst, step_index)
+        if isinstance(inst, Output):
+            return self._bstep_output(compiled, inst)
+        if isinstance(inst, Select):
+            return self._bstep_select(compiled, inst)
+        if isinstance(inst, Detect):
+            return self._bstep_detect(compiled, inst)
+        raise InterpreterBug(f"cannot batch-compile {inst!r}")
+
+    def _bstep_binop(self, compiled, inst):
+        fetch_a = self.engine._fetch(compiled, inst.lhs)
+        fetch_b = self.engine._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        op = inst.op
+        bits = value_type.bits
+        binject = self._binject
+        per_lane = self._per_lane_binop
+
+        if value_type.is_float:
+            scalar = lambda a, b: eval_float_binop(op, a, b, bits)
+            vector = _float_vector_op(op, bits)
+        else:
+            scalar = lambda a, b: eval_int_binop(op, a, b, bits)
+            vector = _int_vector_op(op, bits)
+
+        def bstep(sim, frame):
+            a = fetch_a(frame)
+            b = fetch_b(frame)
+            if type(a) is not _ND and type(b) is not _ND:
+                value = scalar(a, b)  # uniform; a trap hits every lane
+            elif vector is not None:
+                value = vector(a, b)
+            else:
+                value = per_lane(sim, scalar, a, b, value_type)
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_icmp(self, compiled, inst):
+        fetch_a = self.engine._fetch(compiled, inst.lhs)
+        fetch_b = self.engine._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        predicate = inst.predicate
+        bits = inst.lhs.type.bits
+        value_type = inst.type
+        binject = self._binject
+        vector = _icmp_vector(predicate, bits)
+
+        def bstep(sim, frame):
+            a = fetch_a(frame)
+            b = fetch_b(frame)
+            if type(a) is not _ND and type(b) is not _ND:
+                value = eval_icmp(predicate, a, b, bits)
+            else:
+                value = vector(a, b).astype(np.uint64)
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_fcmp(self, compiled, inst):
+        fetch_a = self.engine._fetch(compiled, inst.lhs)
+        fetch_b = self.engine._fetch(compiled, inst.rhs)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        predicate = inst.predicate
+        value_type = inst.type
+        binject = self._binject
+        vector = _fcmp_vector(predicate)
+
+        def bstep(sim, frame):
+            a = fetch_a(frame)
+            b = fetch_b(frame)
+            if type(a) is not _ND and type(b) is not _ND:
+                value = eval_fcmp(predicate, a, b)
+            elif vector is not None:
+                value = vector(a, b).astype(np.uint64)
+            else:  # pragma: no cover - all IR predicates are vectorized
+                out = _lane_array(sim.lanes, value_type)
+                for lane in sim.live_list:
+                    out[lane] = eval_fcmp(
+                        predicate, _lane_value(a, lane), _lane_value(b, lane)
+                    )
+                value = out
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_cast(self, compiled, inst):
+        fetch = self.engine._fetch(compiled, inst.value)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        op = inst.op
+        from_type = inst.value.type
+        to_type = inst.type
+        binject = self._binject
+
+        if op == "trunc":
+            to_mask = mask(to_type.bits)
+            vector = lambda a: a & to_mask
+        elif op == "zext":
+            vector = lambda a: a  # canonical form is width-independent
+        elif op == "sext":
+            from_bits = from_type.bits
+            to_mask = mask(to_type.bits)
+            vector = lambda a: (
+                _signed_vec(a, from_bits).astype(np.uint64) & np.uint64(to_mask)
+            )
+        else:
+            vector = None  # fp casts & conversions: exact per-lane helper
+
+        def bstep(sim, frame):
+            a = fetch(frame)
+            if type(a) is not _ND:
+                value = eval_cast(op, a, from_type, to_type)
+            elif vector is not None:
+                value = vector(a)
+            else:
+                out = _lane_array(sim.lanes, to_type)
+                for lane in sim.live_list:
+                    out[lane] = eval_cast(
+                        op, _lane_value(a, lane), from_type, to_type
+                    )
+                value = out
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, to_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_alloca(self, compiled, inst):
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        count = inst.count
+        elem_size = inst.elem_type.size_bytes
+        value_type = inst.type
+        binject = self._binject
+
+        def bstep(sim, frame):
+            address = frame.allocas.get(iid)
+            if address is None:
+                address, elements = sim.memory.allocate_stack(
+                    count, elem_size
+                )
+                frame.allocas[iid] = address
+                frame.owned.extend(elements)
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                address = binject(sim, address, value_type, lanes_armed)
+            frame.slots[dest] = address
+
+        return bstep
+
+    def _bstep_load(self, compiled, inst):
+        fetch = self.engine._fetch(compiled, inst.pointer)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        default = default_value(value_type)
+        binject = self._binject
+        is_float = value_type.is_float
+        unsigned_max = 0 if is_float else value_type.max_unsigned
+
+        def coerce_scalar(value):
+            # The scalar tier's reinterpret fast path, verbatim.
+            if is_float:
+                if value.__class__ is not float:
+                    return reinterpret_loaded(value, value_type)
+            elif value.__class__ is float or value > unsigned_max:
+                return reinterpret_loaded(value, value_type)
+            return value
+
+        def coerce_lanes(sim, value):
+            kind = value.dtype.kind
+            if is_float:
+                if kind == "f":
+                    return value
+            elif kind == "u" and bool((value <= unsigned_max).all()):
+                return value
+            out = _lane_array(sim.lanes, value_type)
+            for lane in sim.live_list:
+                cell = value[lane] if kind == "O" else _lane_value(value, lane)
+                if cell is _MISSING:
+                    cell = default
+                out[lane] = coerce_scalar(cell)
+            return out
+
+        def load_uniform(sim, address):
+            value = sim.memory.load(address, default)
+            if type(value) is _ND:
+                return coerce_lanes(sim, value)
+            return coerce_scalar(value)
+
+        def bstep(sim, frame):
+            address = fetch(frame)
+            if type(address) is not _ND:
+                value = load_uniform(sim, address)
+            else:
+                # Addresses only *look* divergent once a lane has died
+                # with a corrupted pointer left in the array — check the
+                # live lanes and take the uniform path when they agree.
+                live_list = sim.live_list
+                first = int(address[live_list[0]])
+                if len(live_list) == 1 or bool(
+                    (address[live_list] == first).all()
+                ):
+                    value = load_uniform(sim, first)
+                else:
+                    out = _lane_array(sim.lanes, value_type)
+                    faulted = []
+                    memory = sim.memory
+                    for lane in live_list:
+                        lane_address = int(address[lane])
+                        try:
+                            cell = memory.load(lane_address, default)
+                        except MemoryFault as fault:
+                            faulted.append((lane, str(fault)))
+                            continue
+                        cell = _lane_value(cell, lane)
+                        if cell is _MISSING:
+                            cell = default
+                        out[lane] = coerce_scalar(cell)
+                    for lane, reason in faulted:
+                        self._finish_lane(sim, lane, CRASH, reason,
+                                          divergence=True)
+                    if sim.n_live == 0:
+                        raise _AllLanesDone
+                    value = out
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_store(self, compiled, inst):
+        fetch_value = self.engine._fetch(compiled, inst.value)
+        fetch_pointer = self.engine._fetch(compiled, inst.pointer)
+
+        def bstep(sim, frame):
+            address = fetch_pointer(frame)
+            value = fetch_value(frame)
+            if type(address) is not _ND:
+                sim.memory.store(address, value)  # uniform (value may be lanes)
+                return
+            live_list = sim.live_list
+            first = int(address[live_list[0]])
+            if len(live_list) == 1 or bool(
+                (address[live_list] == first).all()
+            ):
+                # Stale addresses in dead lanes: live lanes still agree,
+                # so this is a uniform store after all.
+                sim.memory.store(first, value)
+                return
+            # Divergent addresses: scatter per lane into object-dtype
+            # cells so each lane keeps its own view of memory.
+            memory = sim.memory
+            faulted = []
+            for lane in live_list:
+                lane_address = int(address[lane])
+                if lane_address not in memory.valid:
+                    faulted.append(
+                        (lane, str(MemoryFault(lane_address, "store")))
+                    )
+                    continue
+                cell = memory.cells.get(lane_address, _MISSING)
+                if type(cell) is not _ND or cell.dtype.kind != "O":
+                    cell = _object_copy(cell, sim.lanes)
+                else:
+                    cell = cell.copy()
+                cell[lane] = _lane_value(value, lane)
+                memory.cells[lane_address] = cell
+            for lane, reason in faulted:
+                self._finish_lane(sim, lane, CRASH, reason, divergence=True)
+            if sim.n_live == 0:
+                raise _AllLanesDone
+
+        return bstep
+
+    def _bstep_gep(self, compiled, inst):
+        fetch_base = self.engine._fetch(compiled, inst.base)
+        fetch_index = self.engine._fetch(compiled, inst.index)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        elem_size = inst.elem_size
+        index_bits = inst.index.type.bits
+        value_type = inst.type
+        binject = self._binject
+
+        def bstep(sim, frame):
+            base = fetch_base(frame)
+            index = fetch_index(frame)
+            if type(base) is not _ND and type(index) is not _ND:
+                value = (
+                    base + to_signed(index, index_bits) * elem_size
+                ) & _MASK64
+            else:
+                # Offsets in the uint64 wrap domain: sign-extend the
+                # index to 64 bits, multiply and add mod 2^64 — exactly
+                # the scalar tier's `(base + signed*size) & _MASK64`.
+                if type(index) is _ND:
+                    offset = _sext64_vec(index, index_bits) * np.uint64(
+                        elem_size
+                    )
+                else:
+                    offset = (
+                        to_signed(index, index_bits) * elem_size
+                    ) & _MASK64
+                value = (base + offset) & np.uint64(_MASK64)
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_call(self, compiled, inst, step_index):
+        fetches = [
+            self.engine._fetch(compiled, arg) for arg in inst.args
+        ]
+        callee = inst.callee
+        result_type = inst.type
+        has_result = inst.has_result
+        dest = compiled.slot_of[id(inst)] if has_result else -1
+        iid = inst.iid
+        binject = self._binject
+
+        if is_intrinsic(callee) and callee not in self.engine.module.functions:
+            def bstep(sim, frame):
+                args = [fetch(frame) for fetch in fetches]
+                if any(type(arg) is _ND for arg in args):
+                    out = _lane_array(sim.lanes, result_type)
+                    for lane in sim.live_list:
+                        out[lane] = call_intrinsic(
+                            callee,
+                            [_lane_value(arg, lane) for arg in args],
+                            result_type,
+                        )
+                    value = out
+                else:
+                    value = call_intrinsic(callee, args, result_type)
+                lanes_armed = sim.armed.get(iid)
+                if lanes_armed:
+                    value = binject(sim, value, result_type, lanes_armed)
+                frame.slots[dest] = value
+            return bstep
+
+        compiled_map = self.engine._compiled
+        bcall = self._bcall
+
+        def bstep(sim, frame):
+            args = [fetch(frame) for fetch in fetches]
+            value = bcall(sim, compiled_map[callee], args, step_index)
+            if has_result:
+                lanes_armed = sim.armed.get(iid)
+                if lanes_armed:
+                    value = binject(sim, value, result_type, lanes_armed)
+                frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_output(self, compiled, inst):
+        fetch = self.engine._fetch(compiled, inst.value)
+        value_type = inst.value.type
+        precision = inst.precision
+
+        def bstep(sim, frame):
+            value = fetch(frame)
+            if type(value) is not _ND:
+                sim.outputs.append(
+                    format_output(value, value_type, precision)
+                )
+            else:
+                entry = [""] * sim.lanes
+                for lane in sim.live_list:
+                    entry[lane] = format_output(
+                        _lane_value(value, lane), value_type, precision
+                    )
+                sim.outputs.append(entry)
+
+        return bstep
+
+    def _bstep_select(self, compiled, inst):
+        fetch_cond = self.engine._fetch(compiled, inst.cond)
+        fetch_true = self.engine._fetch(compiled, inst.true_value)
+        fetch_false = self.engine._fetch(compiled, inst.false_value)
+        dest = compiled.slot_of[id(inst)]
+        iid = inst.iid
+        value_type = inst.type
+        binject = self._binject
+        dtype = np.float64 if value_type.is_float else np.uint64
+
+        def bstep(sim, frame):
+            cond = fetch_cond(frame)
+            if type(cond) is not _ND:
+                value = fetch_true(frame) if cond else fetch_false(frame)
+            else:
+                value = np.where(
+                    cond != 0, fetch_true(frame), fetch_false(frame)
+                )
+                if value.dtype != dtype:
+                    value = value.astype(dtype)
+            lanes_armed = sim.armed.get(iid)
+            if lanes_armed:
+                value = binject(sim, value, value_type, lanes_armed)
+            frame.slots[dest] = value
+
+        return bstep
+
+    def _bstep_detect(self, compiled, inst):
+        fetch_a = self.engine._fetch(compiled, inst.original)
+        fetch_b = self.engine._fetch(compiled, inst.duplicate)
+        is_float = inst.original.type.is_float
+        iid = inst.iid
+
+        def bstep(sim, frame):
+            a = fetch_a(frame)
+            b = fetch_b(frame)
+            if type(a) is not _ND and type(b) is not _ND:
+                if a == b:
+                    return
+                if is_float and a != a and b != b:
+                    return
+                raise DetectionTrap(f"detect #{iid}: {a!r} != {b!r}")
+            tripped = []
+            for lane in list(sim.live_list):
+                lane_a = _lane_value(a, lane)
+                lane_b = _lane_value(b, lane)
+                if lane_a == lane_b:
+                    continue
+                if is_float and lane_a != lane_a and lane_b != lane_b:
+                    continue
+                tripped.append(
+                    (lane, f"detect #{iid}: {lane_a!r} != {lane_b!r}")
+                )
+            for lane, reason in tripped:
+                self._finish_lane(sim, lane, DETECTED, reason,
+                                  divergence=True)
+            if sim.n_live == 0:
+                raise _AllLanesDone
+
+        return bstep

@@ -69,9 +69,13 @@ from .ops import (
 )
 
 #: Interpreter tier names, and the environment knob that selects one.
+#: The batch tier (:mod:`repro.interp.batch`) builds on the codegen
+#: representation: campaign trials run in numpy lockstep and diverged
+#: lanes drain on generated block functions.
 TIER_CODEGEN = "codegen"
 TIER_CLOSURE = "closure"
-TIERS = (TIER_CODEGEN, TIER_CLOSURE)
+TIER_BATCH = "batch"
+TIERS = (TIER_CODEGEN, TIER_CLOSURE, TIER_BATCH)
 TIER_ENV = "REPRO_INTERP_TIER"
 
 #: Longest unconditional-jump chain inlined into one superblock.

@@ -38,7 +38,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable, Value
 from .checkpoint import FrameSnap, GoldenCapture, Snapshot
-from .codegen import TIER_CODEGEN, generate_function, resolve_tier
+from .codegen import TIER_BATCH, TIER_CODEGEN, generate_function, resolve_tier
 from .errors import (
     ArithmeticTrap,
     DetectionTrap,
@@ -285,7 +285,10 @@ class ExecutionEngine:
         self.codegen_functions = 0
         self.codegen_fallbacks = 0
         self._codegen_built = False
-        self._codegen_on = self.tier == TIER_CODEGEN
+        self._batch_runner = None
+        # The batch tier drains diverged lanes on generated block
+        # functions, so it implies the codegen representation.
+        self._codegen_on = self.tier in (TIER_CODEGEN, TIER_BATCH)
         if self._codegen_on:
             self._build_codegen()
         global _ENGINE_BUILDS
@@ -323,7 +326,7 @@ class ExecutionEngine:
         the engine-reuse invariant in ``tests/fi/test_engine_reuse.py``.
         """
         self.tier = resolve_tier(tier)
-        self._codegen_on = self.tier == TIER_CODEGEN
+        self._codegen_on = self.tier in (TIER_CODEGEN, TIER_BATCH)
         if self._codegen_on:
             self._build_codegen()
 
@@ -603,6 +606,33 @@ class ExecutionEngine:
         and the engine holds no wall-clock or RNG state that could make
         the suffix diverge.
         """
+        occurrence = 0
+        if injection is not None:
+            # The prefix already executed this many occurrences of the
+            # target; the armed occurrence must fire in the suffix.
+            occurrence = capture.prefix_occurrence(snapshot, injection.iid)
+        return self.resume_snapshot(
+            snapshot, injection, budget,
+            occurrence=occurrence,
+            outputs=capture.result.outputs[: snapshot.outputs_len],
+        )
+
+    def resume_snapshot(self, snapshot: Snapshot,
+                        injection: Injection | None = None,
+                        budget: int | None = None, *,
+                        occurrence: int = 0,
+                        outputs: list | None = None,
+                        activated: bool = False) -> RunResult:
+        """Execute a suffix from an explicit mid-run state.
+
+        The general form of :meth:`resume_run`: callers provide the
+        occurrence count the prefix already consumed and the output
+        buffer as of the snapshot.  The batch tier uses this to drain a
+        diverged lane — its snapshot is synthesized from lockstep state
+        rather than a golden capture, and a lane whose fault already
+        fired hands over ``activated=True`` with its occurrence count so
+        the armed instance cannot fire twice.
+        """
         state = _State(
             MemoryState.restored(
                 dict(snapshot.cells), set(snapshot.valid),
@@ -611,9 +641,10 @@ class ExecutionEngine:
             budget or self.max_dynamic,
         )
         state.call = self._call
-        state.outputs = capture.result.outputs[: snapshot.outputs_len]
+        state.outputs = list(outputs) if outputs is not None else []
         state.dynamic_count = snapshot.dynamic_count
         state.block_counts = list(snapshot.block_counts)
+        state.activated = activated
         if injection is not None:
             target = self.module.instruction(injection.iid)
             if not target.has_result:
@@ -627,11 +658,7 @@ class ExecutionEngine:
             state.inject_iid = injection.iid
             state.inject_occurrence = injection.occurrence
             state.inject_bit = injection.bit
-            # The prefix already executed this many occurrences of the
-            # target; the armed occurrence must fire in the suffix.
-            state.occurrence = capture.prefix_occurrence(
-                snapshot, injection.iid
-            )
+            state.occurrence = occurrence
 
         outcome, crash_reason = OK, ""
         try:
@@ -686,6 +713,19 @@ class ExecutionEngine:
         finally:
             state.call_depth -= 1
             state.memory.free(frame.owned)
+
+    def batch_runner(self):
+        """The lazily-built lockstep batch runner for this engine.
+
+        Requires numpy (:data:`repro.interp.batch.HAVE_NUMPY`); callers
+        that must degrade gracefully check that flag first.  Like the
+        codegen tables, the runner is per-engine state reused across
+        every group of trials.
+        """
+        if self._batch_runner is None:
+            from .batch import BatchRunner
+            self._batch_runner = BatchRunner(self)
+        return self._batch_runner
 
     def _loop_from(self, compiled, frame, cblock, start: int, state: _State):
         """Finish a block from step ``start``, then rejoin the main loop."""

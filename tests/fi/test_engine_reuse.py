@@ -50,21 +50,21 @@ class TestWorkerReuse:
     def test_same_spec_spans_share_one_build(self, fresh_worker):
         spec = ModuleSpec.from_benchmark("pathfinder", "test")
         before = engine_build_count()
-        _run_span_task((spec, 0, 30, 1, True, 0, None))
+        _run_span_task((spec, 0, 30, 1, True, 0, None, 0))
         assert engine_build_count() == before + 1
-        _run_span_task((spec, 30, 30, 1, True, 0, None))
-        _run_span_task((spec, 60, 30, 1, False, 0, "closure"))  # toggling
-        _run_span_task((spec, 90, 30, 1, True, 0, "codegen"))   # the knobs
+        _run_span_task((spec, 30, 30, 1, True, 0, None, 0))
+        _run_span_task((spec, 60, 30, 1, False, 0, "closure", 0))  # toggling
+        _run_span_task((spec, 90, 30, 1, True, 0, "codegen", 8))  # the knobs
         assert engine_build_count() == before + 1                # keeps it
 
     def test_new_module_revision_recompiles(self, fresh_worker):
         before = engine_build_count()
         _run_span_task(
             (ModuleSpec.from_benchmark("pathfinder", "test"), 0, 20, 1,
-             True, 0, None)
+             True, 0, None, 0)
         )
         _run_span_task(
             (ModuleSpec.from_benchmark("nw", "test"), 0, 20, 1, True, 0,
-             None)
+             None, 0)
         )
         assert engine_build_count() == before + 2

@@ -1,0 +1,120 @@
+"""Batch groups restored from golden-prefix checkpoints.
+
+A lockstep group restores *once* from the snapshot nearest the earliest
+lane's fork point and replays the shared suffix for every lane; the
+contract is that each lane's result is bit-identical to (a) a cold
+scalar run with the same injection and (b) the closure tier's
+checkpointed resume.  Stride 1 snapshots at every opportunity — the
+capture schedule then lands on mid-block suspended frames, inside loop
+bodies, which is the hardest restore shape; a stride beyond the trace
+length degenerates to cold starts and must change nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi.campaign import FaultInjector
+from repro.interp.batch import HAVE_NUMPY
+from repro.interp.codegen import TIER_BATCH, TIER_CLOSURE, TIER_CODEGEN
+from repro.interp.engine import ExecutionEngine, Injection
+from repro.ir import I32, Module
+from repro.ir.dsl import FunctionBuilder
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="batch tier requires numpy"
+)
+
+
+def loop_module():
+    """Nested loops around a branchy accumulator, so snapshots suspend
+    frames mid-block and injections can fork deep into the trace."""
+    module = Module("batch_ckpt")
+    f = FunctionBuilder(module, "main")
+    acc = f.local("acc", I32, 0)
+    probe = None
+
+    def inner(i):
+        def body(j):
+            nonlocal probe
+            term = (i * 7 + j).value
+            if probe is None:
+                probe = term
+            f.if_(
+                f.wrap(term) > f.c(20),
+                lambda: acc.set(acc.get() + f.wrap(term)),
+                lambda: acc.set(acc.get() - 1),
+            )
+        f.for_range(0, 6, body, name="j")
+
+    f.for_range(0, 8, inner, name="i")
+    f.out(acc.get())
+    f.done()
+    module.finalize()
+    return module, probe
+
+
+def test_group_resume_from_midblock_snapshots():
+    """Restore a group from a stride-1 snapshot (suspended mid-loop
+    frames) and check every lane against a cold scalar run."""
+    module, probe = loop_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    capture = engine.capture(stride=1)
+    assert len(capture.snapshots) > 4
+    # Lanes fork at different occurrences of the same multiply; the
+    # group must restore at the snapshot usable for the earliest one.
+    trials = [
+        Injection(probe.iid, occurrence, bit)
+        for occurrence, bit in ((12, 3), (13, 30), (20, 0), (40, 14))
+    ]
+    snapshot = capture.snapshot_for(trials[0])
+    assert snapshot is not None and snapshot.frames
+    occurrences = [
+        capture.prefix_occurrence(snapshot, injection.iid)
+        for injection in trials
+    ]
+    group = engine.batch_runner().run_group(
+        trials, snapshot=snapshot,
+        base_outputs=capture.result.outputs[: snapshot.outputs_len],
+        occurrences=occurrences,
+    )
+    for injection, result in zip(trials, group.results):
+        cold = ExecutionEngine(module, tier=TIER_CODEGEN).run(
+            injection=injection
+        )
+        assert result.outcome == cold.outcome
+        assert result.outputs == cold.outputs
+        assert result.dynamic_count == cold.dynamic_count
+        assert result.block_counts == cold.block_counts
+
+
+@pytest.mark.parametrize("stride", [1, 7, 500, 10**9])
+def test_campaign_counts_invariant_to_stride(stride):
+    """Batch + checkpointing at any stride (including degenerate ones)
+    reproduces the closure tier's resumed campaign bit-for-bit."""
+    module, _probe = loop_module()
+    reference = FaultInjector(
+        module, interp_tier=TIER_CLOSURE, checkpoint=True,
+        checkpoint_stride=stride,
+    ).campaign(60, seed=17)
+    for lanes in (1, 8):
+        batch = FaultInjector(
+            module, interp_tier=TIER_BATCH, checkpoint=True,
+            checkpoint_stride=stride, batch_lanes=lanes,
+        ).campaign(60, seed=17)
+        assert batch.counts == reference.counts
+        assert batch.batch_fallbacks == 0
+
+
+def test_checkpointed_equals_cold_batch_campaign():
+    module, _probe = loop_module()
+    cold = FaultInjector(
+        module, interp_tier=TIER_BATCH, checkpoint=False, batch_lanes=8
+    ).campaign(60, seed=23)
+    warm = FaultInjector(
+        module, interp_tier=TIER_BATCH, checkpoint=True,
+        checkpoint_stride=1, batch_lanes=8,
+    ).campaign(60, seed=23)
+    assert warm.counts == cold.counts
+    # Stride-1 restores skip golden-prefix work the cold runs execute.
+    assert warm.skipped_instructions > cold.skipped_instructions

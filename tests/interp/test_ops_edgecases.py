@@ -13,16 +13,25 @@ from __future__ import annotations
 
 import pytest
 
-from repro.interp.codegen import TIER_CLOSURE, TIER_CODEGEN
-from repro.interp.engine import ExecutionEngine
+from repro.interp.batch import HAVE_NUMPY
+from repro.interp.codegen import TIER_BATCH, TIER_CLOSURE, TIER_CODEGEN
+from repro.interp.engine import ExecutionEngine, Injection
 from repro.interp.result import CRASH, OK
 from repro.ir import F32, F64, I8, I16, I32, I64, Function, IRBuilder, Module
 
 WIDTHS = {8: I8, 16: I16, 32: I32, 64: I64}
 
 
+def _assert_same(left, right):
+    assert left.outcome == right.outcome
+    assert left.crash_reason == right.crash_reason
+    assert left.outputs == right.outputs
+    assert left.block_counts == right.block_counts
+    assert left.dynamic_count == right.dynamic_count
+
+
 def run_both(build):
-    """Build a one-function module, run it on both tiers, assert they
+    """Build a one-function module, run it on every tier, assert they
     agree on everything observable, and return the closure result."""
     module = Module("ops_edge")
     fn = module.add_function(Function("main"))
@@ -34,12 +43,37 @@ def run_both(build):
     codegen_engine = ExecutionEngine(module, tier=TIER_CODEGEN)
     assert codegen_engine.codegen_fallbacks == 0
     codegen = codegen_engine.run()
-    assert closure.outcome == codegen.outcome
-    assert closure.crash_reason == codegen.crash_reason
-    assert closure.outputs == codegen.outputs
-    assert closure.block_counts == codegen.block_counts
-    assert closure.dynamic_count == codegen.dynamic_count
+    _assert_same(closure, codegen)
+    if HAVE_NUMPY:
+        _run_batch(module, closure, codegen_engine)
     return closure
+
+
+def _run_batch(module, closure, codegen_engine):
+    """The same case through the batch tier's numpy paths.
+
+    A fault-free uniform group takes the scalar fast paths, so the
+    middle lane injects a bit-0 flip into the first register-producing
+    instruction: its value diverges, every downstream operation runs on
+    real numpy arrays, and the numpy result must still match the scalar
+    tiers bit-for-bit — in the injected lane (vs a scalar run of the
+    same injection) and in the clean lanes (vs the golden run), i.e.
+    numpy dtype semantics must not leak into visible results.
+    """
+    batch_engine = ExecutionEngine(module, tier=TIER_BATCH)
+    target = next(
+        (inst for inst in module.instructions() if inst.has_result), None
+    )
+    trials = [None, None, None]
+    if target is not None:
+        trials[1] = Injection(target.iid, 1, 0)
+    group = batch_engine.batch_runner().run_group(trials)
+    for trial, lane_result in zip(trials, group.results):
+        expected = (
+            closure if trial is None
+            else codegen_engine.run(injection=trial)
+        )
+        _assert_same(lane_result, expected)
 
 
 def out_bool(b, cond):
