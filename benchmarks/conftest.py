@@ -37,7 +37,6 @@ Rendered reports are printed (visible with ``-s``) and written to
 
 from __future__ import annotations
 
-import os
 from dataclasses import replace
 from pathlib import Path
 
@@ -45,7 +44,9 @@ import pytest
 
 from repro.bench import BENCHMARK_NAMES
 from repro.cache import configure_cache
+from repro.core.env import env_choice, env_flag, env_float, env_int, env_str
 from repro.harness import ExperimentConfig, Workspace
+from repro.interp.codegen import TIERS
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -54,36 +55,27 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def _artifact_cache():
     """Honor $REPRO_CACHE_DIR explicitly (CI restores that directory
     between runs, so warm reruns replay cached artifacts)."""
-    configure_cache(os.environ.get("REPRO_CACHE_DIR"))
-
-
-def _int_env(name: str, default: int) -> int:
-    return int(os.environ.get(name, default))
-
-
-def _flag_env(name: str, default: bool) -> bool:
-    value = os.environ.get(name)
-    if value is None:
-        return default
-    return value.strip().lower() not in ("0", "false", "no", "off", "")
+    configure_cache(env_str("REPRO_CACHE_DIR"))
 
 
 def harness_config() -> ExperimentConfig:
-    halfwidth = os.environ.get("REPRO_FI_CI_HALFWIDTH")
     return ExperimentConfig(
-        scale=os.environ.get("REPRO_SCALE", "test"),
-        fi_samples=_int_env("REPRO_FI_SAMPLES", 400),
-        model_samples=_int_env("REPRO_FI_SAMPLES", 400),
-        per_instruction_runs=_int_env("REPRO_PER_INST_RUNS", 25),
-        max_instructions=_int_env("REPRO_MAX_INSTRUCTIONS", 60),
-        protection_fi_samples=_int_env("REPRO_PROTECTION_SAMPLES", 300),
+        scale=env_choice("REPRO_SCALE", "test",
+                         ("test", "small", "default", "large")),
+        fi_samples=env_int("REPRO_FI_SAMPLES", 400, minimum=1),
+        model_samples=env_int("REPRO_FI_SAMPLES", 400, minimum=1),
+        per_instruction_runs=env_int("REPRO_PER_INST_RUNS", 25, minimum=1),
+        max_instructions=env_int("REPRO_MAX_INSTRUCTIONS", 60, minimum=1),
+        protection_fi_samples=env_int("REPRO_PROTECTION_SAMPLES", 300,
+                                      minimum=1),
         benchmarks=BENCHMARK_NAMES,
-        fi_workers=_int_env("REPRO_FI_WORKERS", 1),
-        fi_ci_halfwidth=float(halfwidth) if halfwidth else None,
-        fi_checkpoint=_flag_env("REPRO_FI_CHECKPOINT", True),
-        fi_checkpoint_stride=_int_env("REPRO_FI_CHECKPOINT_STRIDE", 0),
-        interp_tier=os.environ.get("REPRO_INTERP_TIER") or None,
-        batch_lanes=_int_env("REPRO_BATCH_LANES", 0),
+        fi_workers=env_int("REPRO_FI_WORKERS", 1, minimum=1),
+        fi_ci_halfwidth=env_float("REPRO_FI_CI_HALFWIDTH", None, minimum=0.0),
+        fi_checkpoint=env_flag("REPRO_FI_CHECKPOINT", True),
+        fi_checkpoint_stride=env_int("REPRO_FI_CHECKPOINT_STRIDE", 0,
+                                     minimum=0),
+        interp_tier=env_choice("REPRO_INTERP_TIER", None, TIERS),
+        batch_lanes=env_int("REPRO_BATCH_LANES", 0, minimum=0),
     )
 
 
@@ -97,7 +89,7 @@ def fig8_workspace() -> Workspace:
     """Fig. 8 runs 6 protected FI campaigns per program; keep it to a
     representative subset by default (REPRO_FIG8_ALL=1 for all 11)."""
     config = harness_config()
-    if not os.environ.get("REPRO_FIG8_ALL"):
+    if not env_flag("REPRO_FIG8_ALL", False):
         config = replace(
             config, benchmarks=("pathfinder", "hotspot", "nw", "bfs_parboil")
         )

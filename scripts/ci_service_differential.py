@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Service-mode differential CI checks for the campaign daemon.
+
+Two phases, selectable with ``--only`` (default: all):
+
+1. **cold-shards** — start a fresh daemon on an empty result store and
+   submit the same campaign over HTTP with 1 and 4 workers.  Both
+   responses must carry counts bit-identical to an in-process serial
+   reference run: sharding a campaign across a worker pool behind the
+   service must be invisible in the results.
+
+2. **store-replay** — run ``repro inject`` (the one-shot CLI) against a
+   shared result store, then start a daemon on that store and submit
+   the same spec twice.  Both submits must be admission-time store hits
+   (``cached``, zero trials executed) returning the CLI run's counts
+   bit-for-bit, and the daemon's ``/v1/stats`` must expose the
+   scheduler and store counters the nightly job tracks.
+
+The daemon runs as a real subprocess (stderr → ``service-daemon.log``,
+uploaded by CI on failure) listening on an ephemeral port published
+through ``--port-file``.  Exits non-zero with a one-line reason on the
+first failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import build_module
+from repro.fi.campaign import FaultInjector
+
+BENCH = "pathfinder"
+SCALE = "test"
+LOG_PATH = Path("service-daemon.log")
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        sys.exit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+class Daemon:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, cache_dir: str, workers: int = 1):
+        self._port_file = Path(tempfile.mkstemp(suffix=".port")[1])
+        self._port_file.unlink()
+        self._log = LOG_PATH.open("a", encoding="utf-8")
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", str(workers),
+             "--port-file", str(self._port_file)],
+            env=env, stdout=self._log, stderr=self._log,
+        )
+        deadline = time.monotonic() + 60.0
+        while not self._port_file.exists():
+            if self.process.poll() is not None:
+                sys.exit(f"FAIL: daemon exited with "
+                         f"{self.process.returncode} before listening "
+                         f"(see {LOG_PATH})")
+            if time.monotonic() > deadline:
+                self.process.terminate()
+                sys.exit(f"FAIL: daemon did not publish a port within "
+                         f"60s (see {LOG_PATH})")
+            time.sleep(0.05)
+        self.port = int(self._port_file.read_text().strip())
+
+    def client(self):
+        from repro.serve import ServiceClient
+        return ServiceClient("127.0.0.1", self.port, timeout=600.0)
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+        self._log.close()
+        self._port_file.unlink(missing_ok=True)
+
+
+def payload(runs: int, seed: int, workers: int) -> dict:
+    return {"benchmark": BENCH, "scale": SCALE, "runs": runs,
+            "seed": seed, "workers": workers}
+
+
+def serial_reference(runs: int, seed: int) -> dict:
+    """In-process serial counts: the ground truth both phases gate on."""
+    return FaultInjector(build_module(BENCH, SCALE)).campaign(
+        runs, seed=seed
+    ).counts
+
+
+def cold_shards(runs: int, seed: int) -> None:
+    serial = serial_reference(runs, seed)
+    for workers in (1, 4):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            daemon = Daemon(cache_dir, workers=workers)
+            try:
+                job = daemon.client().submit(
+                    payload(runs, seed, workers), wait=True
+                )
+            finally:
+                daemon.stop()
+            check(job["status"] == "done",
+                  f"cold submit completed with {workers} workers")
+            check(not job["cached"],
+                  f"cold submit actually executed ({workers} workers)")
+            check(job["result"]["counts"] == serial,
+                  f"service counts with {workers} workers are "
+                  f"bit-identical to the serial CLI reference")
+
+
+def store_replay(runs: int, seed: int, bench_json: str | None) -> None:
+    serial = serial_reference(runs, seed)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        started = time.perf_counter()
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", "inject", BENCH,
+             "--scale", SCALE, "--runs", str(runs), "--seed", str(seed)],
+            env=env, capture_output=True, text=True,
+        )
+        cli_seconds = time.perf_counter() - started
+        check(cli.returncode == 0,
+              f"repro inject computed the campaign "
+              f"({cli_seconds:.1f}s)")
+
+        daemon = Daemon(cache_dir)
+        try:
+            client = daemon.client()
+            replays = []
+            for attempt in (1, 2):
+                started = time.perf_counter()
+                job = client.submit(payload(runs, seed, 1), wait=True)
+                replays.append(time.perf_counter() - started)
+                check(job["cached"],
+                      f"submit #{attempt} of the CLI-computed campaign "
+                      f"is an admission-time store hit "
+                      f"({replays[-1] * 1000:.0f}ms)")
+                check(job["result"]["from_cache"],
+                      f"submit #{attempt} executed zero trials")
+                check(job["result"]["counts"] == serial,
+                      f"submit #{attempt} returned the CLI counts "
+                      f"bit-for-bit")
+            stats = client.stats()
+        finally:
+            daemon.stop()
+        check(stats["counters"]["cache_hits"] >= 2,
+              "scheduler counted both store hits")
+        check(stats["counters"]["completed"] == 0,
+              "dispatcher executed no campaign for the replays")
+        store = stats["store"]["counters"]
+        check("lock_contention" in store and "partial_shards_written"
+              in store, "store-level counters exposed via /v1/stats")
+        if bench_json:
+            Path(bench_json).write_text(json.dumps({
+                "benchmark": BENCH, "runs": runs, "seed": seed,
+                "cli_seconds": cli_seconds,
+                "replay_seconds": replays,
+                "scheduler_counters": stats["counters"],
+                "store_counters": store,
+            }, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {bench_json}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", action="append",
+                        choices=("cold-shards", "store-replay"),
+                        help="run a subset of the phases")
+    parser.add_argument("--runs", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--bench-json", default=None, metavar="PATH",
+                        help="write service-mode timing/counter facts "
+                             "here (nightly: BENCH_service.json)")
+    args = parser.parse_args()
+    phases = args.only or ["cold-shards", "store-replay"]
+    LOG_PATH.write_text("")  # fresh log per invocation
+    if "cold-shards" in phases:
+        cold_shards(args.runs, args.seed)
+    if "store-replay" in phases:
+        store_replay(args.runs, args.seed, args.bench_json)
+    print("service differential: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from .artifacts import (
     model_results_key,
     profile_digest,
     profile_key,
+    shard_key,
     store_cached_profile,
     store_function_results,
     store_golden_summary,
@@ -29,8 +30,10 @@ from .artifacts import (
 from .disk import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
+    STORE_COUNTERS,
     ArtifactCache,
     CacheStats,
+    FileLock,
     configure_cache,
     get_cache,
     resolve_cache_dir,
@@ -53,14 +56,15 @@ from .manager import (
 
 __all__ = [
     "AnalysisManager", "ArtifactCache", "CACHE_DIR_ENV", "CFG_SHAPE_ANALYSES",
-    "CacheStats", "DEFAULT_CACHE_DIR", "GoldenSummary",
-    "analysis_manager_for", "analysis_stats_line", "bind_model_results",
-    "campaign_key", "combine_key", "config_digest", "configure_cache",
-    "function_fingerprint", "function_fingerprints", "function_results_key",
-    "get_cache", "golden_key", "load_cached_profile", "load_function_results",
-    "load_golden_summary", "load_model_results", "model_key",
-    "model_results_key", "module_fingerprint", "notify_transform",
-    "profile_digest", "profile_key", "reset_analysis_stats",
-    "resolve_cache_dir", "store_cached_profile", "store_function_results",
-    "store_golden_summary", "store_model_results",
+    "CacheStats", "DEFAULT_CACHE_DIR", "FileLock", "GoldenSummary",
+    "STORE_COUNTERS", "analysis_manager_for", "analysis_stats_line",
+    "bind_model_results", "campaign_key", "combine_key", "config_digest",
+    "configure_cache", "function_fingerprint", "function_fingerprints",
+    "function_results_key", "get_cache", "golden_key", "load_cached_profile",
+    "load_function_results", "load_golden_summary", "load_model_results",
+    "model_key", "model_results_key", "module_fingerprint",
+    "notify_transform", "profile_digest", "profile_key",
+    "reset_analysis_stats", "resolve_cache_dir", "shard_key",
+    "store_cached_profile", "store_function_results", "store_golden_summary",
+    "store_model_results",
 ]

@@ -36,6 +36,7 @@ GOLDEN_KIND = "golden"
 MODEL_KIND = "model"
 MODEL_FN_KIND = "model_fn"
 CAMPAIGN_KIND = "campaign"
+SHARD_KIND = "shard"
 
 
 # ---------------------------------------------------------------------------
@@ -304,3 +305,16 @@ def campaign_key(fingerprint: str, runs: int, seed: int, *,
         "campaign", fingerprint, runs, seed,
         ci_halfwidth, ci_outcome, min_runs, round_size,
     )
+
+
+def shard_key(campaign: str, start: int, count: int) -> str:
+    """Key of one completed shard's partial-campaign checkpoint.
+
+    Scoped under the campaign key (which already covers the module
+    fingerprint, seed, run budget and stopping rule) plus the shard's
+    exact run range: a re-run that plans the same range — any process,
+    any machine — replays the stored counts instead of re-injecting,
+    so a killed worker's completed shards are never lost.  Payload
+    (de)serialization lives on :class:`repro.sched.spec.ShardResult`.
+    """
+    return combine_key("shard", campaign, start, count)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,10 +45,105 @@ def resolve_cache_dir(explicit: str | os.PathLike | None = None) -> Path:
     """Cache root: explicit argument > $REPRO_CACHE_DIR > .repro-cache."""
     if explicit:
         return Path(explicit)
-    env = os.environ.get(CACHE_DIR_ENV)
+    # Imported lazily: repro.core.__init__ pulls in modules that import
+    # this package, so a top-level import would be circular.
+    from ..core.env import env_str
+    env = env_str(CACHE_DIR_ENV)
     if env:
         return Path(env)
     return Path(DEFAULT_CACHE_DIR)
+
+
+#: Persistent store-level counters (``<root>/counters.json``): service
+#: and campaign drivers bump these across *processes*, so `repro cache
+#: stats` and the nightly BENCH_*.json can track lock contention and
+#: partial-shard checkpoint traffic no matter which process did the work.
+COUNTERS_FILE = "counters.json"
+
+STORE_COUNTERS = (
+    "lock_acquires",
+    "lock_contention",
+    "lock_breaks",
+    "partial_shards_written",
+    "partial_shards_resumed",
+    "coalesced_requests",
+    "requests_rejected",
+)
+
+
+class FileLock:
+    """Advisory cross-process lock via an ``O_EXCL`` lock file.
+
+    Used for multi-writer read-modify-write cycles (the persistent
+    counters file); plain artifact writes stay lock-free behind atomic
+    renames.  Waiting is bounded: after ``timeout`` seconds the lock is
+    considered abandoned if older than ``stale_after`` (the holder died
+    mid-critical-section) and is broken, otherwise acquisition fails —
+    callers must treat the protected update as best-effort.
+    """
+
+    def __init__(self, path: Path, *, timeout: float = 5.0,
+                 poll: float = 0.005, stale_after: float = 30.0):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self.acquired = False
+        #: True when at least one acquisition attempt found the lock held.
+        self.contended = False
+        #: True when a stale lock file had to be broken.
+        self.broke_stale = False
+
+    def acquire(self) -> bool:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self.contended = True
+                if time.monotonic() >= deadline:
+                    if self._break_stale():
+                        continue
+                    return False
+                time.sleep(self.poll)
+                continue
+            except OSError:
+                return False  # read-only filesystem: degrade gracefully
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            self.acquired = True
+            return True
+
+    def _break_stale(self) -> bool:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return True  # holder released between checks: retry
+        if age < self.stale_after:
+            return False
+        try:
+            self.path.unlink()
+        except OSError:
+            return False
+        self.broke_stale = True
+        return True
+
+    def release(self) -> None:
+        if self.acquired:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            self.acquired = False
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
 
 
 @dataclass
@@ -165,12 +261,85 @@ class ArtifactCache:
         self.stats.bytes_written += len(data)
         return True
 
+    def remove(self, kind: str, key: str) -> bool:
+        """Drop one entry (e.g. a partial-shard checkpoint made obsolete
+        by the merged campaign result).  Missing entries are not errors."""
+        if not self.enabled:
+            return False
+        path = self.path_for(kind, key)
+        existed = path.exists()
+        self._drop(path)
+        return existed
+
     @staticmethod
     def _drop(path: Path) -> None:
         try:
             path.unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Persistent store-level counters (lock contention, partial shards)
+    # ------------------------------------------------------------------
+
+    def _counters_path(self) -> Path:
+        return self.root / COUNTERS_FILE
+
+    def _lock_for(self, name: str) -> FileLock:
+        return FileLock(self.root / ".locks" / f"{name}.lock")
+
+    def bump_counters(self, **deltas: int) -> dict[str, int]:
+        """Add ``deltas`` to the persistent counters file, under a lock.
+
+        Contention observed while taking the lock is folded into the
+        same write (``lock_contention``), so the counter is exact even
+        though the observation races the update it records.  A cache
+        that is disabled — or a lock that cannot be acquired — makes
+        this a no-op: counters are diagnostics, never correctness.
+        """
+        if not self.enabled:
+            return {}
+        lock = self._lock_for("counters")
+        if not lock.acquire():
+            return {}
+        try:
+            counters = self._read_counters_unlocked()
+            counters["lock_acquires"] = counters.get("lock_acquires", 0) + 1
+            if lock.contended:
+                counters["lock_contention"] = (
+                    counters.get("lock_contention", 0) + 1
+                )
+            if lock.broke_stale:
+                counters["lock_breaks"] = counters.get("lock_breaks", 0) + 1
+            for name, delta in deltas.items():
+                counters[name] = counters.get(name, 0) + int(delta)
+            path = self._counters_path()
+            data = json.dumps(counters, sort_keys=True).encode()
+            try:
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=".counters-", suffix=".tmp"
+                )
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp_name, path)
+            except OSError:
+                return counters
+            return counters
+        finally:
+            lock.release()
+
+    def _read_counters_unlocked(self) -> dict[str, int]:
+        try:
+            raw = json.loads(self._counters_path().read_bytes())
+            return {str(k): int(v) for k, v in raw.items()}
+        except (OSError, ValueError, TypeError):
+            return {}
+
+    def read_counters(self) -> dict[str, int]:
+        """The persistent counters, with every known name present."""
+        counters = {name: 0 for name in STORE_COUNTERS}
+        counters.update(self._read_counters_unlocked())
+        return counters
 
     # ------------------------------------------------------------------
     # Maintenance (the `repro cache` subcommand)

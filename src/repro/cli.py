@@ -9,6 +9,7 @@ experiments.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .bench.registry import BENCHMARK_NAMES, all_benchmarks, build_module
@@ -23,7 +24,12 @@ from .cache import (
 )
 from .core.simple_models import MODEL_NAMES, create_model
 from .fi.campaign import OUTCOMES, CampaignResult
-from .fi.parallel import CampaignSettings, ModuleSpec, run_cached_campaign
+from .fi.parallel import (
+    CampaignInterrupted,
+    CampaignSettings,
+    ModuleSpec,
+    run_cached_campaign,
+)
 from .harness.context import ExperimentConfig, Workspace
 from .harness.runner import EXPERIMENTS, run_experiment
 from .interp.codegen import TIER_BATCH, TIER_CLOSURE, TIER_CODEGEN
@@ -59,6 +65,10 @@ def build_argument_parser() -> argparse.ArgumentParser:
                              help="one benchmark (default: all)")
     fingerprint.add_argument("--scale", default="default",
                              choices=("test", "small", "default", "large"))
+    fingerprint.add_argument("--json", action="store_true",
+                             help="emit a JSON object mapping benchmark "
+                                  "name to fingerprint (machine consumers: "
+                                  "CI, the nightly bench harness)")
 
     show = commands.add_parser("show", help="print a benchmark's IR")
     _add_benchmark_args(show)
@@ -136,7 +146,67 @@ def build_argument_parser() -> argparse.ArgumentParser:
                                  "95%% CI half-width on the SDC probability")
     _add_checkpoint_args(experiment)
     _add_interp_args(experiment)
+
+    serve = commands.add_parser(
+        "serve", help="run the campaign service daemon (JSON over HTTP)"
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: $REPRO_SERVE_HOST "
+                            "or 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port, 0 = ephemeral (default: "
+                            "$REPRO_SERVE_PORT or 8321)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="default worker processes per campaign "
+                            "(default: $REPRO_SERVE_WORKERS or 1)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="queue capacity before submits get 429 "
+                            "(default: $REPRO_SERVE_MAX_PENDING or 64)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(lets scripts use --port 0)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign to a running repro serve daemon"
+    )
+    _add_benchmark_args(submit)
+    submit.add_argument("--runs", type=int, default=1000,
+                        help="maximum injection runs")
+    _add_campaign_args(submit)
+    _add_service_args(submit)
+    submit.add_argument("--priority", default="interactive",
+                        choices=("interactive", "nightly"),
+                        help="queue class (nightly yields to interactive)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return the job id immediately instead of "
+                             "waiting for the result")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw job JSON instead of the "
+                             "campaign summary")
+
+    status = commands.add_parser(
+        "status", help="inspect a running repro serve daemon"
+    )
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="one job (default: daemon health, queue "
+                             "and store stats)")
+    _add_service_args(status)
+    status.add_argument("--wait", action="store_true",
+                        help="block until the named job finishes")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
     return parser
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default=None,
+                        help="daemon address (default: $REPRO_SERVE_HOST "
+                             "or 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="daemon port (default: $REPRO_SERVE_PORT "
+                             "or 8321)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side request timeout in seconds")
 
 
 def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +268,9 @@ def main(argv=None, out=sys.stdout) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }[args.command]
     return handler(args, out)
 
@@ -244,9 +317,17 @@ def _cmd_fingerprint(args, out) -> int:
         print(f"unknown benchmark {args.benchmark!r}; "
               f"available: {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
         return 2
-    for name in names:
-        module = build_module(name, args.scale)
-        print(f"{module_fingerprint(module)}  {name}", file=out)
+    fingerprints = {
+        name: module_fingerprint(build_module(name, args.scale))
+        for name in names
+    }
+    if args.json:
+        print(json.dumps({"scale": args.scale,
+                          "fingerprints": fingerprints},
+                         indent=2, sort_keys=True), file=out)
+        return 0
+    for name, fingerprint in fingerprints.items():
+        print(f"{fingerprint}  {name}", file=out)
     return 0
 
 
@@ -297,17 +378,22 @@ def _cmd_cache(args, out) -> int:
         usage = cache.disk_usage()
         if not usage:
             print(f"cache root {cache.root}: empty", file=out)
-            return 0
-        print(f"cache root {cache.root}:", file=out)
-        total_count = total_bytes = 0
-        for kind in sorted(usage):
-            count, size = usage[kind]
-            total_count += count
-            total_bytes += size
-            print(f"  {kind:<12} {count:>6} entries  {size:>12,} bytes",
-                  file=out)
-        print(f"  {'total':<12} {total_count:>6} entries  "
-              f"{total_bytes:>12,} bytes", file=out)
+        else:
+            print(f"cache root {cache.root}:", file=out)
+            total_count = total_bytes = 0
+            for kind in sorted(usage):
+                count, size = usage[kind]
+                total_count += count
+                total_bytes += size
+                print(f"  {kind:<12} {count:>6} entries  {size:>12,} bytes",
+                      file=out)
+            print(f"  {'total':<12} {total_count:>6} entries  "
+                  f"{total_bytes:>12,} bytes", file=out)
+        counters = cache.read_counters()
+        if any(counters.values()):
+            print("store counters:", file=out)
+            for name in sorted(counters):
+                print(f"  {name:<24} {counters[name]:>8}", file=out)
     elif args.cache_command == "prune":
         removed, freed = cache.prune(args.max_bytes)
         print(f"pruned {removed} entries ({freed:,} bytes freed)", file=out)
@@ -375,7 +461,11 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
 
 
 def _cmd_inject(args, out) -> int:
-    campaign = _run_campaign(args, args.runs)
+    try:
+        campaign = _run_campaign(args, args.runs)
+    except CampaignInterrupted as exc:
+        _print_interrupted(exc.result, args.benchmark, out)
+        return 130
     print(f"program: {args.benchmark}; {campaign.total} injections",
           file=out)
     for outcome in OUTCOMES:
@@ -385,6 +475,22 @@ def _cmd_inject(args, out) -> int:
               f"(± {margin * 100:.2f}%)", file=out)
     _print_campaign_summary(campaign, out)
     return 0
+
+
+def _print_interrupted(partial, benchmark: str, out) -> int:
+    """Report a Ctrl-C'd campaign: partial counts + resumable ranges."""
+    print(f"interrupted: {benchmark}; {partial.total}/"
+          f"{partial.runs_requested} injections completed", file=out)
+    for outcome in OUTCOMES:
+        probability = partial.probability(outcome)
+        print(f"  {outcome:9s} {probability * 100:6.2f}%", file=out)
+    if partial.completed_ranges:
+        spans = ", ".join(f"[{start}, {start + count})"
+                          for start, count in partial.completed_ranges)
+        print(f"completed seed ranges: {spans}", file=out)
+        print("completed shards are checkpointed in the result store; "
+              "re-run the same command to resume", file=out)
+    return 130
 
 
 def _cmd_protect(args, out) -> int:
@@ -439,6 +545,135 @@ def _cmd_experiment(args, out) -> int:
         print(result.render(), file=out)
         print(file=out)
     _print_cache_summary(out)
+    return 0
+
+
+# -- service verbs ----------------------------------------------------------
+
+
+def _client_for(args):
+    from .serve import ServiceClient, default_host, default_port
+    host = args.host if args.host is not None else default_host()
+    port = args.port if args.port is not None else default_port()
+    return ServiceClient(host, port, timeout=args.timeout)
+
+
+def _cmd_serve(args, _out) -> int:
+    from .serve import ServiceDaemon, run_daemon
+    daemon = ServiceDaemon(
+        host=args.host, port=args.port, workers=args.workers,
+        max_pending=args.max_pending,
+    )
+    return run_daemon(daemon, port_file=args.port_file)
+
+
+def _cmd_submit(args, out) -> int:
+    from .serve import ServiceError
+    client = _client_for(args)
+    payload = {
+        "benchmark": args.benchmark,
+        "scale": args.scale,
+        "input_seed": args.input_seed,
+        "runs": args.runs,
+        "seed": args.seed,
+        "workers": max(1, args.workers),
+        "checkpoint": args.checkpoint,
+        "checkpoint_stride": args.checkpoint_stride,
+        "batch_lanes": args.batch_lanes,
+        "priority": args.priority,
+    }
+    if args.ci_halfwidth is not None:
+        payload["ci_halfwidth"] = args.ci_halfwidth
+    if args.interp_tier is not None:
+        payload["interp_tier"] = args.interp_tier
+    try:
+        job = client.submit(payload, wait=not args.no_wait)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 3 if exc.status == 429 else 2
+    except OSError as exc:
+        print(f"cannot reach daemon at {client.host}:{client.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return _print_job(job, args, out)
+
+
+def _cmd_status(args, out) -> int:
+    from .serve import ServiceError
+    client = _client_for(args)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id, wait=args.wait)
+            return _print_job(job, args, out)
+        stats = client.stats()
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach daemon at {client.host}:{client.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"daemon at {client.host}:{client.port}: "
+          f"up {stats['uptime_seconds']:.1f} s", file=out)
+    jobs = stats.get("jobs", {})
+    if jobs:
+        summary = " ".join(f"{status}={count}"
+                           for status, count in sorted(jobs.items()))
+        print(f"jobs: {summary}", file=out)
+    print(f"queue pending: {stats.get('pending', 0)}", file=out)
+    counters = stats.get("counters", {})
+    if counters:
+        summary = " ".join(f"{name}={counters[name]}"
+                           for name in sorted(counters))
+        print(f"scheduler: {summary}", file=out)
+    store = stats.get("store", {})
+    if store:
+        state = "enabled" if store.get("enabled") else "disabled"
+        print(f"store: {store.get('root')} ({state})", file=out)
+        store_counters = store.get("counters", {})
+        if any(store_counters.values()):
+            summary = " ".join(
+                f"{name}={store_counters[name]}"
+                for name in sorted(store_counters) if store_counters[name]
+            )
+            print(f"store counters: {summary}", file=out)
+    return 0
+
+
+def _print_job(job: dict, args, out) -> int:
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True), file=out)
+        return 1 if job.get("status") == "failed" else 0
+    line = f"job {job['job_id']}: {job['status']}"
+    extras = []
+    if job.get("cached"):
+        extras.append("served from the result store")
+    if job.get("coalesced"):
+        extras.append(f"coalesced {job['coalesced']} duplicate submits")
+    if extras:
+        line += " (" + "; ".join(extras) + ")"
+    print(line, file=out)
+    if job.get("status") == "failed":
+        print(f"error: {job.get('error')}", file=out)
+        return 1
+    body = job.get("result")
+    if body is None:
+        print(f"fingerprint: {job['fingerprint']}", file=out)
+        return 0
+    campaign = CampaignResult.from_dict(body)
+    print(f"fingerprint: {job['fingerprint']}; "
+          f"{campaign.total} injections", file=out)
+    for outcome in OUTCOMES:
+        probability = campaign.probability(outcome)
+        margin = campaign.margin_of_error(outcome)
+        print(f"  {outcome:9s} {probability * 100:6.2f}% "
+              f"(± {margin * 100:.2f}%)", file=out)
+    if body.get("from_cache"):
+        print("replayed from the shared result store "
+              "(zero trials executed)", file=out)
     return 0
 
 

@@ -1,0 +1,100 @@
+"""One normalized reader for every ``REPRO_*`` environment knob.
+
+Every subsystem that honors an environment variable (campaign workers,
+interpreter tier, cache root, the ``REPRO_SERVE_*`` service knobs)
+parses it through these helpers instead of ad-hoc ``os.environ`` reads,
+so the accepted spellings are uniform everywhere:
+
+* flags accept ``1/true/yes/on`` and ``0/false/no/off`` (any case,
+  surrounding whitespace ignored; the empty string counts as unset);
+* numbers are parsed strictly — ``REPRO_FI_WORKERS=four`` is a clear
+  :class:`EnvError` naming the variable, the value and what was
+  expected, never a silent default or a bare ``ValueError`` trace;
+* choice knobs (benchmark scale, interpreter tier) reject anything
+  outside the declared alternatives the same way.
+
+:class:`EnvError` subclasses :class:`ValueError` so existing callers
+that guarded with ``except ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+class EnvError(ValueError):
+    """An environment variable holds a value that cannot be parsed."""
+
+    def __init__(self, name: str, value: str, expected: str):
+        super().__init__(
+            f"${name}={value!r}: expected {expected}"
+        )
+        self.name = name
+        self.value = value
+        self.expected = expected
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """The raw value, with unset and empty both mapping to ``default``."""
+    value = os.environ.get(name)
+    if value is None or value.strip() == "":
+        return default
+    return value.strip()
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """A boolean knob: 1/true/yes/on vs 0/false/no/off (case-insensitive)."""
+    value = env_str(name)
+    if value is None:
+        return default
+    lowered = value.lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise EnvError(name, value, "a boolean (1/true/yes/on or 0/false/no/off)")
+
+
+def env_int(name: str, default: int = 0,
+            minimum: int | None = None) -> int:
+    """An integer knob; garbage or an out-of-range value raises
+    :class:`EnvError`."""
+    value = env_str(name)
+    if value is None:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise EnvError(name, value, "an integer") from None
+    if minimum is not None and parsed < minimum:
+        raise EnvError(name, value, f"an integer >= {minimum}")
+    return parsed
+
+
+def env_float(name: str, default: float | None = None,
+              minimum: float | None = None) -> float | None:
+    """A float knob (e.g. a CI half-width); unset/empty keeps ``default``."""
+    value = env_str(name)
+    if value is None:
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise EnvError(name, value, "a number") from None
+    if minimum is not None and parsed < minimum:
+        raise EnvError(name, value, f"a number >= {minimum}")
+    return parsed
+
+
+def env_choice(name: str, default: str | None,
+               choices: tuple[str, ...]) -> str | None:
+    """A knob restricted to declared alternatives (case preserved)."""
+    value = env_str(name)
+    if value is None:
+        return default
+    if value not in choices:
+        raise EnvError(name, value, f"one of {', '.join(choices)}")
+    return value

@@ -90,6 +90,16 @@ class CampaignResult:
     batch_lanes: int = 0
     batch_divergences: int = 0
     batch_fallbacks: int = 0
+    #: Seed ranges (start, count) whose counts this result includes —
+    #: set by the shard scheduler, so an interrupted campaign can report
+    #: exactly which runs completed (see ``repro.sched.executor``).
+    completed_ranges: list = field(default_factory=list)
+    #: True when the campaign was cut short (KeyboardInterrupt) and the
+    #: counts cover only ``completed_ranges``; never cached.
+    interrupted: bool = False
+    #: Shards replayed from partial-campaign checkpoints in the shared
+    #: result store instead of being re-executed.
+    shards_resumed: int = 0
 
     @property
     def total(self) -> int:
@@ -183,6 +193,7 @@ class CampaignResult:
             "batch_lanes": self.batch_lanes,
             "batch_divergences": self.batch_divergences,
             "batch_fallbacks": self.batch_fallbacks,
+            "completed_ranges": [list(r) for r in self.completed_ranges],
         }
 
     @classmethod
@@ -216,6 +227,10 @@ class CampaignResult:
             batch_lanes=int(data.get("batch_lanes", 0)),
             batch_divergences=int(data.get("batch_divergences", 0)),
             batch_fallbacks=int(data.get("batch_fallbacks", 0)),
+            completed_ranges=[
+                (int(s), int(c))
+                for s, c in data.get("completed_ranges", [])
+            ],
         )
         result.from_cache = True
         return result

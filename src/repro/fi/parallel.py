@@ -1,386 +1,54 @@
-"""Parallel, early-stopping fault-injection campaigns.
+"""Parallel, early-stopping fault-injection campaigns (thin client).
 
-A campaign of N runs is embarrassingly parallel once every run draws
-from its own seed substream (:mod:`repro.fi.seeds`): the run space
-[0, N) is partitioned into contiguous spans, spans are executed on a
-``multiprocessing`` pool, and the per-span :class:`CampaignResult`
-counts are merged.  Workers cannot receive an :class:`ExecutionEngine`
-(its compiled steps are closures), so each worker re-materializes the
-module from a picklable :class:`ModuleSpec` — either a benchmark
-recipe ``(name, scale, input_seed)`` or the module's printed IR — and
-builds its own :class:`FaultInjector` once, caching it across spans.
+Historically this module owned the whole campaign driver; that driver
+now lives in :mod:`repro.sched` so the CLI, the pytest harness and the
+``repro.serve`` daemon share one execution path (and one result store).
+This module keeps the long-standing ``repro.fi`` API as a facade:
 
-On top of the pool sits *iterative statistical injection* (the DAVOS
-recipe): runs execute in rounds, and the campaign stops as soon as the
-Wilson confidence interval on the chosen outcome's probability is
-narrower than a configured half-width.  Because every run is seeded by
-its global index, the executed prefix [0, runs_executed) is identical
-whether the campaign ran serially, on 4 workers, or chunked in any
-other way — parallelism and chunking affect wall-clock only, never
-counts.
+* :class:`ModuleSpec` / :class:`CampaignSettings` — re-exported from
+  :mod:`repro.sched.spec`;
+* :class:`ParallelCampaign` — the scheduler's
+  :class:`~repro.sched.executor.CampaignExecutor` under its original
+  name, with the original constructor and ``run()`` semantics (plus
+  store-backed partial-shard checkpoints and interrupt-safe teardown);
+* :func:`run_parallel_campaign` / :func:`run_cached_campaign` — the
+  one-shot wrappers every existing call site uses.
 
-Failure policy: if the pool cannot be created, a worker crashes, or a
-round times out, the unfinished round is re-executed serially in the
-driver process (no partial round is ever merged twice, and no counts
-are lost) and the campaign continues in-process.
+The determinism contract is unchanged: every run draws from its own
+seed substream (:mod:`repro.fi.seeds`), so the merged counts of a
+campaign are bit-identical whether it ran serially, on a local pool, or
+as independent shards on different machines.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import time
-from dataclasses import dataclass
-
-from ..bench.registry import build_module
-from ..cache import (
-    GoldenSummary,
-    campaign_key,
-    get_cache,
-    golden_key,
-    load_golden_summary,
-    module_fingerprint,
-    store_golden_summary,
-)
-from ..cache.artifacts import CAMPAIGN_KIND
 from ..ir.module import Module
-from ..ir.parser import parse_module
-from ..ir.printer import print_module
-from ..stats.confidence import Z_95, wilson_confidence
+from ..sched.executor import (
+    CampaignExecutor,
+    CampaignInterrupted,
+    run_store_campaign,
+)
+from ..sched.shard import materialize_injector, run_shard
+from ..sched.spec import CampaignSettings, ModuleSpec
+from ..stats.confidence import Z_95
 from .campaign import SDC, CampaignResult, FaultInjector
 
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignSettings",
+    "ModuleSpec",
+    "ParallelCampaign",
+    "materialize_injector",
+    "run_cached_campaign",
+    "run_parallel_campaign",
+    "run_shard",
+]
 
-@dataclass(frozen=True)
-class ModuleSpec:
-    """Picklable recipe a worker uses to re-materialize a Module."""
-
-    benchmark: str | None = None
-    scale: str = "default"
-    input_seed: int = 0
-    ir_text: str | None = None
-
-    @classmethod
-    def from_benchmark(cls, name: str, scale: str = "default",
-                       input_seed: int = 0) -> "ModuleSpec":
-        return cls(benchmark=name, scale=scale, input_seed=input_seed)
-
-    @classmethod
-    def from_module(cls, module: Module) -> "ModuleSpec":
-        """Spec for an arbitrary (e.g. optimized or protected) module,
-        shipped as printed IR and re-parsed in the worker."""
-        return cls(ir_text=print_module(module))
-
-    def materialize(self) -> Module:
-        if self.benchmark is not None:
-            return build_module(self.benchmark, self.scale, self.input_seed)
-        if self.ir_text is None:
-            raise ValueError("ModuleSpec names neither a benchmark nor IR")
-        return parse_module(self.ir_text)
-
-
-@dataclass(frozen=True)
-class CampaignSettings:
-    """Knobs of the parallel/early-stopping campaign driver."""
-
-    workers: int = 1
-    #: Runs per pool task; 0 = one contiguous span per worker per round.
-    chunk_size: int = 0
-    #: Stop once the Wilson CI half-width on ``ci_outcome`` drops below
-    #: this; None disables early stopping (all runs execute).
-    ci_halfwidth: float | None = None
-    ci_outcome: str = SDC
-    ci_z: float = Z_95
-    #: Runs per early-stopping round; 0 = auto.
-    round_size: int = 0
-    #: Never stop before this many runs (guards tiny-sample intervals).
-    min_runs: int = 100
-    #: Per-round pool timeout in seconds; on expiry the round is retried
-    #: serially.  None = wait indefinitely.
-    round_timeout: float | None = None
-    #: Checkpoint-and-fork: restore golden-prefix snapshots so each
-    #: trial executes only its suffix.  Counts are invariant to this
-    #: knob (it is deliberately *not* part of the campaign cache key);
-    #: an injector that fails to capture or resume degrades back to
-    #: cold full runs, mirroring the pool-failure policy above.
-    checkpoint: bool = True
-    #: Snapshot stride in dynamic instructions; 0 = auto.
-    checkpoint_stride: int = 0
-    #: Interpreter tier ("codegen"/"closure"/"batch"); None keeps each
-    #: engine's resolved default.  Counts are invariant to the tier (the
-    #: CI differential enforces bit-identity), so — like the checkpoint
-    #: knobs — it is deliberately *not* part of the campaign cache key.
-    interp_tier: str | None = None
-    #: Lanes per lockstep group on the batch tier; <= 0 picks the
-    #: tier's default.  Another wall-clock-only knob: counts are
-    #: bit-identical at every lane count, so it too stays *out* of the
-    #: campaign cache key.
-    batch_lanes: int = 0
-
-    def effective_round_size(self) -> int:
-        """Round size the driver will use under early stopping (0 when
-        no stopping rule applies).  Part of the campaign cache key: two
-        configurations that could stop at different run prefixes must
-        never share a cached result."""
-        if self.ci_halfwidth is None:
-            return 0
-        if self.round_size > 0:
-            return self.round_size
-        return max(self.min_runs, 50 * max(1, self.workers))
-
-
-# ---------------------------------------------------------------------------
-# Worker side.  The injector is cached per process and per spec; tasks
-# carry the spec so a failed materialization surfaces as an ordinary
-# task exception in the driver (never a silent worker-respawn loop).
-
-_WORKER_SPEC: ModuleSpec | None = None
-_WORKER_INJECTOR: FaultInjector | None = None
-
-
-def materialize_injector(spec: ModuleSpec,
-                         interp_tier: str | None = None) -> FaultInjector:
-    """Build a FaultInjector for a spec, warm-starting the golden run.
-
-    The golden-run summary (outputs, per-instruction counts, dynamic
-    count) is content-addressed by the re-materialized module's
-    fingerprint, so a worker — or a later campaign over the same module
-    — skips the fault-free reference execution; a cache miss computes
-    and publishes it for every subsequent process.
-    """
-    module = spec.materialize()
-    cache = get_cache()
-    key = golden_key(module_fingerprint(module))
-    golden = load_golden_summary(cache, key)
-    injector = FaultInjector(module, golden=golden, interp_tier=interp_tier)
-    if golden is None:
-        store_golden_summary(
-            cache, key, GoldenSummary.from_run(injector.golden)
-        )
-    return injector
-
-
-def _span_perf(result: CampaignResult) -> dict:
-    """Throughput facts a span task ships back alongside its counts."""
-    return {
-        "dynamic_instructions": result.dynamic_instructions,
-        "skipped_instructions": result.skipped_instructions,
-        "snapshot_bytes": result.snapshot_bytes,
-        "checkpointed": result.checkpointed,
-        "checkpoint_degraded": result.checkpoint_degraded,
-        "interp_tier": result.interp_tier,
-        "codegen_functions": result.codegen_functions,
-        "codegen_fallbacks": result.codegen_fallbacks,
-        "batch_lanes": result.batch_lanes,
-        "batch_divergences": result.batch_divergences,
-        "batch_fallbacks": result.batch_fallbacks,
-    }
-
-
-def _run_span_task(task) -> tuple[dict[str, int], float, dict]:
-    global _WORKER_SPEC, _WORKER_INJECTOR
-    spec, start, count, campaign_seed, checkpoint, stride, tier, lanes = task
-    if _WORKER_INJECTOR is None or _WORKER_SPEC != spec:
-        _WORKER_INJECTOR = materialize_injector(spec, interp_tier=tier)
-        _WORKER_SPEC = spec
-    _WORKER_INJECTOR.configure_checkpoints(checkpoint, stride)
-    _WORKER_INJECTOR.configure_tier(tier)
-    _WORKER_INJECTOR.configure_batch(lanes)
-    result = _WORKER_INJECTOR.run_span(start, count, campaign_seed)
-    return result.counts, result.cpu_seconds, _span_perf(result)
-
-
-# ---------------------------------------------------------------------------
-# Driver side.
-
-
-class ParallelCampaign:
-    """Campaign driver: chunking, worker pool, early stopping, fallback."""
-
-    def __init__(self, spec: ModuleSpec | None = None, *,
-                 injector: FaultInjector | None = None,
-                 settings: CampaignSettings | None = None):
-        if spec is None and injector is None:
-            raise ValueError("need a ModuleSpec or a FaultInjector")
-        self._spec = spec
-        self._injector = injector
-        self.settings = settings or CampaignSettings()
-
-    @property
-    def injector(self) -> FaultInjector:
-        """The in-process injector (serial path and fallback)."""
-        if self._injector is None:
-            self._injector = materialize_injector(self._spec)
-        return self._injector
-
-    def spec(self) -> ModuleSpec:
-        if self._spec is not None:
-            return self._spec
-        return ModuleSpec.from_module(self._injector.module)
-
-    # -- plumbing ------------------------------------------------------
-
-    def _round_size(self, max_runs: int) -> int:
-        if self.settings.ci_halfwidth is None:
-            return max_runs  # no stopping rule: one round covers everything
-        return self.settings.effective_round_size()
-
-    def _spans(self, start: int, count: int, seed: int,
-               spec: ModuleSpec | None) -> list:
-        settings = self.settings
-        chunk = settings.chunk_size
-        if chunk <= 0:
-            chunk = math.ceil(count / max(1, settings.workers))
-        if settings.interp_tier == "batch" and settings.batch_lanes > 1:
-            # Lane-sized chunks: a worker's span splits into full
-            # lockstep groups, so no group straddles a span boundary
-            # and runs as a fraction of its width.
-            lanes = settings.batch_lanes
-            chunk = math.ceil(chunk / lanes) * lanes
-        spans = []
-        offset, end = start, start + count
-        while offset < end:
-            size = min(chunk, end - offset)
-            spans.append((spec, offset, size, seed,
-                          settings.checkpoint, settings.checkpoint_stride,
-                          settings.interp_tier, settings.batch_lanes))
-            offset += size
-        return spans
-
-    def _interval_tight(self, result: CampaignResult) -> bool:
-        settings = self.settings
-        if settings.ci_halfwidth is None:
-            return False
-        if result.total < max(1, settings.min_runs):
-            return False
-        interval = wilson_confidence(
-            result.counts[settings.ci_outcome], result.total, settings.ci_z
-        )
-        return interval.margin <= settings.ci_halfwidth
-
-    # -- execution -----------------------------------------------------
-
-    def run(self, max_runs: int, seed: int = 0) -> CampaignResult:
-        """Execute up to ``max_runs`` injections of campaign ``seed``."""
-        settings = self.settings
-        workers = max(1, settings.workers)
-        started = time.perf_counter()
-        result = CampaignResult()
-        pool = None
-        use_pool = workers > 1
-        degraded = False
-        executed = 0
-        rounds = 0
-        try:
-            while executed < max_runs:
-                round_runs = min(self._round_size(max_runs),
-                                 max_runs - executed)
-                span_results = None
-                if use_pool:
-                    if pool is None:
-                        self._publish_golden()
-                        pool = self._make_pool(workers)
-                        if pool is None:
-                            use_pool, degraded = False, True
-                    if pool is not None:
-                        span_results = self._map_round(
-                            pool, executed, round_runs, seed
-                        )
-                        if span_results is None:  # pool died mid-round
-                            pool = self._discard_pool(pool)
-                            use_pool, degraded = False, True
-                if span_results is None:
-                    span_results = self._serial_round(
-                        executed, round_runs, seed
-                    )
-                for counts, cpu_seconds, perf in span_results:
-                    for outcome, n in counts.items():
-                        result.counts[outcome] += n
-                    result.cpu_seconds += cpu_seconds
-                    result.dynamic_instructions += perf[
-                        "dynamic_instructions"]
-                    result.skipped_instructions += perf[
-                        "skipped_instructions"]
-                    result.snapshot_bytes += perf["snapshot_bytes"]
-                    result.checkpointed |= perf["checkpointed"]
-                    result.checkpoint_degraded |= perf[
-                        "checkpoint_degraded"]
-                    result.interp_tier = (
-                        result.interp_tier or perf["interp_tier"]
-                    )
-                    result.codegen_functions = max(
-                        result.codegen_functions, perf["codegen_functions"]
-                    )
-                    result.codegen_fallbacks = max(
-                        result.codegen_fallbacks, perf["codegen_fallbacks"]
-                    )
-                    result.batch_lanes = max(
-                        result.batch_lanes, perf["batch_lanes"]
-                    )
-                    result.batch_divergences += perf["batch_divergences"]
-                    result.batch_fallbacks += perf["batch_fallbacks"]
-                executed += round_runs
-                rounds += 1
-                if self._interval_tight(result):
-                    result.stopped_early = True
-                    break
-        finally:
-            if pool is not None:
-                self._discard_pool(pool)
-        result.wall_seconds = time.perf_counter() - started
-        result.runs_requested = max_runs
-        result.rounds = rounds
-        result.workers = workers if use_pool else 1
-        result.degraded = degraded
-        return result
-
-    def _publish_golden(self) -> None:
-        """Seed the golden-summary artifact before workers spawn, so
-        every worker's first span skips the fault-free reference run."""
-        if self._injector is None:
-            return
-        cache = get_cache()
-        key = golden_key(module_fingerprint(self._injector.module))
-        if load_golden_summary(cache, key) is None:
-            store_golden_summary(
-                cache, key, GoldenSummary.from_run(self._injector.golden)
-            )
-
-    def _serial_round(self, start: int, count: int, seed: int) -> list:
-        """Execute one round in-process (serial path and pool fallback)."""
-        settings = self.settings
-        self.injector.configure_checkpoints(
-            settings.checkpoint, settings.checkpoint_stride
-        )
-        self.injector.configure_tier(settings.interp_tier)
-        self.injector.configure_batch(settings.batch_lanes)
-        out = []
-        for _spec, offset, size, *_knobs in self._spans(
-                start, count, seed, None):
-            span_result = self.injector.run_span(offset, size, seed)
-            out.append((span_result.counts, span_result.cpu_seconds,
-                        _span_perf(span_result)))
-        return out
-
-    def _make_pool(self, workers: int):
-        try:
-            return multiprocessing.get_context().Pool(workers)
-        except Exception:
-            return None
-
-    def _map_round(self, pool, start: int, count: int, seed: int):
-        """Run one round on the pool; None means 'retry serially'."""
-        spans = self._spans(start, count, seed, self.spec())
-        try:
-            pending = pool.map_async(_run_span_task, spans, chunksize=1)
-            return pending.get(self.settings.round_timeout)
-        except Exception:
-            return None
-
-    @staticmethod
-    def _discard_pool(pool):
-        pool.terminate()
-        pool.join()
-        return None
+#: The campaign driver, under the name this module always exported.
+#: ``ParallelCampaign(spec_or_none, injector=..., settings=...)`` and
+#: ``.run(max_runs, seed)`` behave as before; interrupts now raise
+#: :class:`CampaignInterrupted` carrying the partial result.
+ParallelCampaign = CampaignExecutor
 
 
 def run_parallel_campaign(
@@ -400,7 +68,7 @@ def run_parallel_campaign(
     interp_tier: str | None = None,
     batch_lanes: int = 0,
 ) -> CampaignResult:
-    """One-shot convenience wrapper around :class:`ParallelCampaign`."""
+    """One-shot convenience wrapper around the campaign executor."""
     campaign = ParallelCampaign(
         spec, injector=injector,
         settings=CampaignSettings(
@@ -422,41 +90,14 @@ def run_cached_campaign(
     module: Module | None = None,
     settings: CampaignSettings | None = None,
 ) -> CampaignResult:
-    """A campaign through the artifact cache.
+    """A campaign through the shared result store.
 
-    The merged counts of a campaign are a pure function of the module
-    content, the seed, the run budget and the stopping rule (the PR 1
-    seed protocol), so they are cached under exactly that key; a hit
-    replays the counts without executing a single injection — or even
-    building an engine (``injector`` may be a zero-arg factory, only
-    invoked on a miss).  A miss runs the campaign normally and persists
-    the result; a malformed cache entry falls back to recomputation.
+    Delegates to :func:`repro.sched.executor.run_store_campaign` — the
+    single cached execution path shared with the service daemon, so a
+    result computed here serves a later ``repro submit`` byte-for-byte
+    (and vice versa).
     """
-    settings = settings or CampaignSettings()
-    if module is None:
-        if isinstance(injector, FaultInjector):
-            module = injector.module
-        elif spec is not None:
-            module = spec.materialize()
-        else:
-            raise ValueError("need a module, a ModuleSpec or an injector")
-    cache = get_cache()
-    key = campaign_key(
-        module_fingerprint(module), runs, seed,
-        ci_halfwidth=settings.ci_halfwidth,
-        ci_outcome=settings.ci_outcome,
-        min_runs=settings.min_runs,
-        round_size=settings.effective_round_size(),
+    return run_store_campaign(
+        runs, seed, spec=spec, injector=injector, module=module,
+        settings=settings,
     )
-    payload = cache.load(CAMPAIGN_KIND, key)
-    if payload is not None:
-        try:
-            return CampaignResult.from_dict(payload)
-        except (KeyError, TypeError, ValueError):
-            pass  # malformed entry: recompute below and overwrite
-    if injector is not None and not isinstance(injector, FaultInjector):
-        injector = injector()  # lazy factory, paid only on a miss
-    campaign = ParallelCampaign(spec, injector=injector, settings=settings)
-    result = campaign.run(runs, seed=seed)
-    cache.store(CAMPAIGN_KIND, key, result.to_dict())
-    return result

@@ -34,7 +34,6 @@ in :meth:`repro.interp.engine.ExecutionEngine._cg_run`.
 
 from __future__ import annotations
 
-import os
 
 from ..ir.bitutils import mask, to_signed, truncate_float
 from ..ir.instructions import (
@@ -88,7 +87,10 @@ _F32 = FloatType(32)
 def resolve_tier(tier: str | None = None) -> str:
     """Resolve a tier request: explicit arg > $REPRO_INTERP_TIER > codegen."""
     if tier is None:
-        tier = os.environ.get(TIER_ENV) or TIER_CODEGEN
+        # Late import: repro.core.env is dependency-free, but keeping the
+        # interpreter importable without the core package helps tooling.
+        from ..core.env import env_choice
+        tier = env_choice(TIER_ENV, TIER_CODEGEN, TIERS)
     if tier not in TIERS:
         raise ValueError(
             f"unknown interpreter tier {tier!r}; expected one of {TIERS}"

@@ -1,0 +1,53 @@
+"""Campaign scheduling: shard planning, execution, queueing, service.
+
+This package is the execution spine shared by every campaign entry
+point — ``repro inject``, the pytest harness, and the ``repro.serve``
+daemon all flow through :func:`run_store_campaign`, so their merged
+counts are byte-identical by construction:
+
+* :mod:`~repro.sched.spec` — picklable module/shard/settings records;
+* :mod:`~repro.sched.plan` — deterministic run-range sharding
+  (:class:`ShardPlan`), independent of worker placement;
+* :mod:`~repro.sched.shard` — :func:`run_shard`, the one entrypoint a
+  worker (local pool process or remote-style) executes;
+* :mod:`~repro.sched.executor` — the campaign driver with store-backed
+  partial-shard checkpoints and interrupt-safe teardown;
+* :mod:`~repro.sched.queue` / :mod:`~repro.sched.scheduler` — bounded
+  priority queue, request coalescing and the service dispatcher.
+"""
+
+from .executor import (
+    CampaignExecutor,
+    CampaignInterrupted,
+    campaign_request_key,
+    run_store_campaign,
+)
+from .plan import ShardPlan, ShardRange, coalesce_ranges
+from .queue import INTERACTIVE, NIGHTLY, JobQueue, QueueFull, resolve_priority
+from .scheduler import CampaignRequest, Job, Scheduler
+from .shard import materialize_injector, run_shard
+from .spec import CampaignSettings, ModuleSpec, ShardResult, ShardSpec
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignInterrupted",
+    "CampaignRequest",
+    "CampaignSettings",
+    "INTERACTIVE",
+    "Job",
+    "JobQueue",
+    "ModuleSpec",
+    "NIGHTLY",
+    "QueueFull",
+    "Scheduler",
+    "ShardPlan",
+    "ShardRange",
+    "ShardResult",
+    "ShardSpec",
+    "campaign_request_key",
+    "coalesce_ranges",
+    "materialize_injector",
+    "resolve_priority",
+    "run_shard",
+    "run_store_campaign",
+]

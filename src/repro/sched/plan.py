@@ -1,0 +1,87 @@
+"""Deterministic partitioning of a campaign's run-index space.
+
+A :class:`ShardPlan` splits a contiguous range of run indices into
+contiguous :class:`ShardRange` pieces.  Because every run index draws
+from its own seed substream (:mod:`repro.fi.seeds`), the merged counts
+of a plan's shards are bit-identical to a serial execution of the whole
+range — for any shard count, any chunk size, and any placement of the
+shards across processes or machines.  The plan itself is a pure
+function of ``(start, count, shards, chunk_size, lane_multiple)``, so
+two schedulers that agree on those five integers materialize the exact
+same shard boundaries and can share partial-shard checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One contiguous slice ``[start, start+count)`` of run indices."""
+
+    index: int
+    start: int
+    count: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic cover of ``[start, start+count)`` by shards."""
+
+    start: int
+    count: int
+    ranges: tuple[ShardRange, ...]
+
+    @classmethod
+    def split(cls, start: int, count: int, shards: int, *,
+              chunk_size: int = 0, lane_multiple: int = 1) -> "ShardPlan":
+        """Partition ``[start, start+count)`` into contiguous ranges.
+
+        ``chunk_size`` fixes the runs per shard (0 = divide evenly over
+        ``shards``); ``lane_multiple`` rounds the chunk up so no
+        batch-tier lockstep group straddles a shard boundary.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        chunk = chunk_size
+        if chunk <= 0:
+            chunk = math.ceil(count / max(1, shards)) if count else 1
+        if lane_multiple > 1:
+            chunk = math.ceil(chunk / lane_multiple) * lane_multiple
+        ranges = []
+        offset, end = start, start + count
+        while offset < end:
+            size = min(chunk, end - offset)
+            ranges.append(ShardRange(len(ranges), offset, size))
+            offset += size
+        return cls(start=start, count=count, ranges=tuple(ranges))
+
+    def __iter__(self):
+        return iter(self.ranges)
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+
+def coalesce_ranges(ranges) -> list[tuple[int, int]]:
+    """Merge ``(start, count)`` pairs into maximal contiguous spans.
+
+    Used to report which seed ranges of an interrupted campaign
+    completed: shards finish out of order, but the human-facing answer
+    is "runs 0-600 and 750-800 are done".
+    """
+    spans = sorted((int(s), int(c)) for s, c in ranges if c > 0)
+    merged: list[list[int]] = []
+    for start, count in spans:
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            last = merged[-1]
+            last[1] = max(last[1], start + count - last[0])
+        else:
+            merged.append([start, count])
+    return [(s, c) for s, c in merged]

@@ -1,0 +1,32 @@
+"""The campaign service: HTTP daemon, wire protocol, blocking client.
+
+``repro serve`` runs :class:`ServiceDaemon`; ``repro submit`` and
+``repro status`` use :class:`ServiceClient`.  The daemon executes
+campaigns through exactly the scheduler/executor path the one-shot CLI
+uses, so a result computed either way serves the other from the shared
+result store byte-for-byte.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServiceDaemon,
+    default_host,
+    default_port,
+    run_daemon,
+)
+from .protocol import API_PREFIX, PROTOCOL_VERSION
+
+__all__ = [
+    "API_PREFIX",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "default_host",
+    "default_port",
+    "run_daemon",
+]

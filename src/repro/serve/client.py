@@ -1,0 +1,87 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+``repro submit`` and ``repro status`` talk to the daemon through this
+thin :mod:`http.client` wrapper; tests drive it against an in-process
+daemon.  Every call opens one connection (the protocol is
+``Connection: close``), sends JSON, and returns the decoded JSON body.
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+— 429 (queue full) and 400 (malformed request) surface as exceptions a
+caller can branch on, never as silent empty results.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from .protocol import API_PREFIX
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One daemon endpoint; every method is one request/response."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, route: str,
+                 payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, API_PREFIX + route, body, headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServiceError(
+                response.status, f"non-JSON response: {raw[:200]!r}"
+            ) from None
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, decoded.get("error", "unknown error")
+            )
+        return decoded
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(self, payload: dict, wait: bool = False) -> dict:
+        route = "/campaigns?wait=1" if wait else "/campaigns"
+        return self._request("POST", route, payload)
+
+    def job(self, job_id: str, wait: bool = False) -> dict:
+        route = f"/jobs/{job_id}"
+        if wait:
+            route += "?wait=1"
+        return self._request("GET", route)
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/jobs")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def analyze(self, payload: dict) -> dict:
+        return self._request("POST", "/analyze", payload)

@@ -2,7 +2,7 @@
 
 Compiling an :class:`ExecutionEngine` (closure specialization of every
 instruction) is the expensive per-module step; a campaign must pay it
-once per worker and amortize it across every span, round, and trial.
+once per worker and amortize it across every shard, round, and trial.
 ``engine_build_count`` counts compilations process-wide, so these tests
 lock the invariant by measuring deltas.
 """
@@ -12,8 +12,8 @@ from __future__ import annotations
 import pytest
 
 from repro.fi import FaultInjector, ModuleSpec
-from repro.fi import parallel as fi_parallel
-from repro.fi.parallel import _run_span_task
+from repro.sched import ShardSpec, run_shard
+from repro.sched import shard as sched_shard
 from repro.interp import engine_build_count
 from tests.conftest import cached_module
 
@@ -22,8 +22,17 @@ from tests.conftest import cached_module
 def fresh_worker(monkeypatch):
     """Simulate a fresh pool worker: clear the per-process injector
     cache without leaking state into other tests."""
-    monkeypatch.setattr(fi_parallel, "_WORKER_SPEC", None)
-    monkeypatch.setattr(fi_parallel, "_WORKER_INJECTOR", None)
+    monkeypatch.setattr(sched_shard, "_WORKER_SPEC", None)
+    monkeypatch.setattr(sched_shard, "_WORKER_INJECTOR", None)
+
+
+def shard(spec, start, count, seed=1, checkpoint=True, stride=0,
+          tier=None, lanes=0):
+    return ShardSpec(
+        module=spec, start=start, count=count, seed=seed,
+        checkpoint=checkpoint, checkpoint_stride=stride,
+        interp_tier=tier, batch_lanes=lanes,
+    )
 
 
 class TestInjectorReuse:
@@ -47,24 +56,27 @@ class TestInjectorReuse:
 
 
 class TestWorkerReuse:
-    def test_same_spec_spans_share_one_build(self, fresh_worker):
+    def test_same_spec_shards_share_one_build(self, fresh_worker):
         spec = ModuleSpec.from_benchmark("pathfinder", "test")
         before = engine_build_count()
-        _run_span_task((spec, 0, 30, 1, True, 0, None, 0))
+        run_shard(shard(spec, 0, 30))
         assert engine_build_count() == before + 1
-        _run_span_task((spec, 30, 30, 1, True, 0, None, 0))
-        _run_span_task((spec, 60, 30, 1, False, 0, "closure", 0))  # toggling
-        _run_span_task((spec, 90, 30, 1, True, 0, "codegen", 8))  # the knobs
-        assert engine_build_count() == before + 1                # keeps it
+        run_shard(shard(spec, 30, 30))
+        run_shard(shard(spec, 60, 30, checkpoint=False, tier="closure"))
+        run_shard(shard(spec, 90, 30, tier="codegen", lanes=8))  # toggling
+        assert engine_build_count() == before + 1            # knobs keeps it
 
     def test_new_module_revision_recompiles(self, fresh_worker):
         before = engine_build_count()
-        _run_span_task(
-            (ModuleSpec.from_benchmark("pathfinder", "test"), 0, 20, 1,
-             True, 0, None, 0)
-        )
-        _run_span_task(
-            (ModuleSpec.from_benchmark("nw", "test"), 0, 20, 1, True, 0,
-             None, 0)
-        )
+        run_shard(shard(ModuleSpec.from_benchmark("pathfinder", "test"),
+                        0, 20))
+        run_shard(shard(ModuleSpec.from_benchmark("nw", "test"), 0, 20))
         assert engine_build_count() == before + 2
+
+    def test_direct_injector_bypasses_worker_cache(self, fresh_worker):
+        injector = FaultInjector(cached_module("pathfinder"))
+        before = engine_build_count()
+        result = run_shard(shard(ModuleSpec(), 0, 20), injector=injector)
+        assert engine_build_count() == before  # no materialization
+        assert sched_shard._WORKER_INJECTOR is None  # cache untouched
+        assert sum(result.counts.values()) == 20

@@ -1,0 +1,70 @@
+"""Shard planning: deterministic, covering, placement-independent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import ShardPlan, coalesce_ranges
+
+
+def flat(plan: ShardPlan) -> list[tuple[int, int]]:
+    return [(rng.start, rng.count) for rng in plan]
+
+
+class TestSplit:
+    def test_covers_range_without_overlap(self):
+        plan = ShardPlan.split(0, 100, 4)
+        assert sum(rng.count for rng in plan) == 100
+        offset = 0
+        for rng in plan:
+            assert rng.start == offset
+            offset = rng.stop
+        assert offset == 100
+
+    def test_deterministic_for_same_inputs(self):
+        a = ShardPlan.split(30, 170, 3, chunk_size=0, lane_multiple=1)
+        b = ShardPlan.split(30, 170, 3, chunk_size=0, lane_multiple=1)
+        assert flat(a) == flat(b)
+
+    def test_chunk_size_fixes_shard_width(self):
+        plan = ShardPlan.split(0, 100, 4, chunk_size=17)
+        widths = [rng.count for rng in plan]
+        assert widths[:-1] == [17] * (len(widths) - 1)
+        assert widths[-1] == 100 - 17 * (len(widths) - 1)
+
+    def test_lane_multiple_rounds_chunk_up(self):
+        # 100 runs over 3 shards = 34-run chunks; a 16-lane batch group
+        # must not straddle shards, so chunks round up to 48.
+        plan = ShardPlan.split(0, 100, 3, lane_multiple=16)
+        widths = [rng.count for rng in plan]
+        assert widths[:-1] == [48] * (len(widths) - 1)
+        assert sum(widths) == 100
+
+    def test_nonzero_start_offsets_every_shard(self):
+        plan = ShardPlan.split(600, 40, 2)
+        assert flat(plan) == [(600, 20), (620, 20)]
+
+    def test_empty_and_negative(self):
+        assert len(ShardPlan.split(0, 0, 4)) == 0
+        with pytest.raises(ValueError):
+            ShardPlan.split(0, -1, 4)
+
+    def test_indices_are_sequential(self):
+        plan = ShardPlan.split(0, 90, 5)
+        assert [rng.index for rng in plan] == list(range(len(plan)))
+
+
+class TestCoalesce:
+    def test_merges_contiguous_spans(self):
+        assert coalesce_ranges([(0, 10), (10, 10), (30, 5)]) == \
+            [(0, 20), (30, 5)]
+
+    def test_order_independent(self):
+        shards = [(20, 10), (0, 10), (10, 10)]
+        assert coalesce_ranges(shards) == [(0, 30)]
+
+    def test_drops_empty_ranges(self):
+        assert coalesce_ranges([(0, 0), (5, 5)]) == [(5, 5)]
+
+    def test_overlaps_fold_into_one_span(self):
+        assert coalesce_ranges([(0, 10), (5, 10)]) == [(0, 15)]

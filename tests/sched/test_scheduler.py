@@ -1,0 +1,166 @@
+"""The service scheduler: queueing, coalescing, cache hits, backpressure.
+
+A :class:`Scheduler` that has *not* been started keeps admitted jobs
+queued, which makes admission-control behavior deterministic to test:
+coalescing attaches duplicate submits to the in-flight job, the bounded
+queue rejects at capacity, and a store hit completes without consuming
+a queue slot at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi import FaultInjector
+from repro.fi.parallel import run_cached_campaign
+from repro.sched import (
+    INTERACTIVE,
+    NIGHTLY,
+    CampaignRequest,
+    CampaignSettings,
+    JobQueue,
+    ModuleSpec,
+    QueueFull,
+    Scheduler,
+    resolve_priority,
+)
+from tests.conftest import cached_module
+
+BENCH = "pathfinder"
+
+
+def request(runs=40, seed=21, benchmark=BENCH, **settings) -> CampaignRequest:
+    return CampaignRequest(
+        spec=ModuleSpec.from_benchmark(benchmark, "test"),
+        runs=runs, seed=seed, settings=CampaignSettings(**settings),
+    )
+
+
+@pytest.fixture
+def scheduler():
+    sched = Scheduler(max_pending=4)
+    yield sched
+    sched.stop(timeout=5.0)
+
+
+class TestQueue:
+    def test_interactive_overtakes_nightly(self):
+        queue = JobQueue(8)
+        queue.push("slow", NIGHTLY)
+        queue.push("fast", INTERACTIVE)
+        assert queue.pop(0) == "fast"
+        assert queue.pop(0) == "slow"
+
+    def test_fifo_within_class(self):
+        queue = JobQueue(8)
+        for item in ("a", "b", "c"):
+            queue.push(item, INTERACTIVE)
+        assert [queue.pop(0) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bounded_push_raises(self):
+        queue = JobQueue(2)
+        queue.push("a")
+        queue.push("b")
+        with pytest.raises(QueueFull):
+            queue.push("c")
+
+    def test_close_wakes_poppers(self):
+        queue = JobQueue(2)
+        queue.close()
+        assert queue.pop(timeout=5.0) is None
+
+    def test_priority_names(self):
+        assert resolve_priority("interactive") == INTERACTIVE
+        assert resolve_priority("NIGHTLY") == NIGHTLY
+        assert resolve_priority(3) == 3
+        with pytest.raises(ValueError):
+            resolve_priority("urgent")
+
+
+class TestCoalescing:
+    def test_duplicate_submits_share_one_job(self, scheduler):
+        first = scheduler.submit(request(seed=31))
+        second = scheduler.submit(request(seed=31))
+        assert second is first
+        assert first.coalesced == 1
+        assert scheduler.counters["coalesced"] == 1
+
+    def test_different_configs_do_not_coalesce(self, scheduler):
+        a = scheduler.submit(request(seed=32))
+        b = scheduler.submit(request(seed=33))
+        c = scheduler.submit(request(seed=32, runs=80))
+        assert len({a.id, b.id, c.id}) == 3
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_new_requests(self):
+        scheduler = Scheduler(max_pending=1)
+        scheduler.submit(request(seed=41))
+        with pytest.raises(QueueFull):
+            scheduler.submit(request(seed=42))
+        assert scheduler.counters["rejected"] == 1
+
+    def test_coalesced_requests_bypass_the_full_queue(self):
+        scheduler = Scheduler(max_pending=1)
+        job = scheduler.submit(request(seed=43))
+        # Identical request: attaches to the in-flight job even though
+        # the queue has no free slot.
+        assert scheduler.submit(request(seed=43)) is job
+
+
+class TestCacheHit:
+    def test_precomputed_campaign_completes_instantly(self, scheduler):
+        spec = ModuleSpec.from_benchmark(BENCH, "test")
+        computed = run_cached_campaign(50, seed=51, spec=spec)
+        job = scheduler.submit(request(runs=50, seed=51))
+        assert job.status == "done"
+        assert job.cached
+        assert job.result.counts == computed.counts
+        assert job.result.from_cache
+        assert scheduler.counters["cache_hits"] == 1
+
+
+class TestExecution:
+    def test_dispatched_job_matches_serial_counts(self, scheduler):
+        serial = FaultInjector(cached_module(BENCH)).campaign(40, seed=61)
+        scheduler.start()
+        job = scheduler.submit(request(runs=40, seed=61))
+        assert job.wait(timeout=120.0)
+        assert job.status == "done"
+        assert job.result.counts == serial.counts
+
+    def test_failed_job_reports_error(self, scheduler, monkeypatch):
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(
+            "repro.sched.scheduler.run_store_campaign", boom
+        )
+        scheduler.start()
+        job = scheduler.submit(request(runs=10, seed=62))
+        assert job.wait(timeout=60.0)
+        assert job.status == "failed"
+        assert "worker exploded" in job.error
+        assert scheduler.counters["failed"] == 1
+
+
+class TestWireForm:
+    def test_from_payload_roundtrip(self):
+        req = CampaignRequest.from_payload({
+            "benchmark": BENCH, "scale": "test", "runs": 25, "seed": 3,
+            "workers": 2, "priority": "nightly",
+        })
+        assert req.spec.benchmark == BENCH
+        assert req.runs == 25
+        assert req.settings.workers == 2
+        assert req.priority == NIGHTLY
+
+    def test_from_payload_rejects_garbage(self):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            CampaignRequest.from_payload({"runs": 10})  # no module
+        with pytest.raises((TypeError, ValueError)):
+            CampaignRequest.from_payload(
+                {"benchmark": BENCH, "runs": "many"}
+            )
+        with pytest.raises(ValueError):
+            CampaignRequest.from_payload({"benchmark": BENCH, "runs": 0})
