@@ -250,16 +250,19 @@ def interp_codegen(speedup: float, runs: int) -> None:
 
 #: Benchmarks dense enough in straight-line arithmetic for lockstep
 #: execution to amortize its per-block dispatch; branch-dominated
-#: programs (pathfinder, libquantum) spend their time on the scalar
-#: drain path and sit near 1x, which the nightly benchmark reports but
-#: CI does not gate on.
+#: programs (pathfinder, libquantum) lean on SIMT reconvergence to stay
+#: in lockstep and are tracked by the nightly benchmark rather than the
+#: CI gate.
 BATCH_SPEED_BENCHMARKS = ("hotspot", "sad", "blackscholes", "lulesh")
 BATCH_LANE_COUNTS = (1, 8, 64)
 
 
 def batch_tier(speedup: float, runs: int) -> None:
-    """Batch tier vs codegen: identical counts at every lane count,
+    """Batch tier vs codegen: identical counts at every lane count and
+    in both divergence modes (park-and-remerge and peel-and-drain),
     faster cold campaigns where there is compute to amortize."""
+    import os
+
     from repro.interp import TIER_BATCH
     from repro.interp.batch import HAVE_NUMPY
 
@@ -268,26 +271,43 @@ def batch_tier(speedup: float, runs: int) -> None:
               "execution; nothing to differentiate")
         return
 
+    reconverged = 0
     divergences = 0
     for name in BENCHMARK_NAMES:
         module = build_module(name, "test")
         reference = FaultInjector(
             module, interp_tier=TIER_CODEGEN
         ).campaign(120, seed=5)
-        for lanes in BATCH_LANE_COUNTS:
-            result = FaultInjector(
-                module, interp_tier=TIER_BATCH, batch_lanes=lanes
-            ).campaign(120, seed=5)
-            check(
-                result.counts == reference.counts,
-                f"{name}: batch campaign counts bit-identical to codegen "
-                f"at {lanes} lanes",
-            )
-            check(
-                result.batch_fallbacks == 0,
-                f"{name}: no groups fell back to scalar execution",
-            )
-            divergences += result.batch_divergences
+        for mode in ("1", "0"):
+            os.environ["REPRO_BATCH_RECONVERGE"] = mode
+            try:
+                for lanes in BATCH_LANE_COUNTS:
+                    # A fresh injector per (mode, lanes): the runner
+                    # reads the mode flag at construction.
+                    result = FaultInjector(
+                        module, interp_tier=TIER_BATCH, batch_lanes=lanes
+                    ).campaign(120, seed=5)
+                    check(
+                        result.counts == reference.counts,
+                        f"{name}: batch campaign counts bit-identical to "
+                        f"codegen at {lanes} lanes "
+                        f"(reconvergence {'on' if mode == '1' else 'off'})",
+                    )
+                    check(
+                        result.batch_fallbacks == 0,
+                        f"{name}: no groups fell back to scalar execution",
+                    )
+                    if mode == "1":
+                        reconverged += result.batch_reconverged
+                    else:
+                        divergences += result.batch_divergences
+            finally:
+                del os.environ["REPRO_BATCH_RECONVERGE"]
+    check(
+        reconverged > 0,
+        f"multi-lane groups exercised park-and-remerge "
+        f"({reconverged:,} branches re-merged)",
+    )
     check(
         divergences > 0,
         f"multi-lane groups exercised the peel-and-drain path "
@@ -297,25 +317,34 @@ def batch_tier(speedup: float, runs: int) -> None:
     speedups = []
     for name in BATCH_SPEED_BENCHMARKS:
         module = build_module(name, "test")
-        codegen = FaultInjector(
-            module, interp_tier=TIER_CODEGEN, checkpoint=False
-        )
-        started = time.perf_counter()
-        codegen_result = codegen.run_span(0, runs, 1)
-        codegen_seconds = time.perf_counter() - started
+        # Best-of-two per tier: the gate below compares a ratio of wall
+        # times, and a single cold shot on a loaded runner can swing it
+        # by tens of percent.
+        codegen_seconds = batch_seconds = None
+        for _ in range(2):
+            codegen = FaultInjector(
+                module, interp_tier=TIER_CODEGEN, checkpoint=False
+            )
+            started = time.perf_counter()
+            codegen_result = codegen.run_span(0, runs, 1)
+            elapsed = time.perf_counter() - started
+            if codegen_seconds is None or elapsed < codegen_seconds:
+                codegen_seconds = elapsed
 
-        batch = FaultInjector(
-            module, interp_tier=TIER_BATCH, checkpoint=False,
-            batch_lanes=64,
-        )
-        started = time.perf_counter()
-        batch_result = batch.run_span(0, runs, 1)
-        batch_seconds = time.perf_counter() - started
+            batch = FaultInjector(
+                module, interp_tier=TIER_BATCH, checkpoint=False,
+                batch_lanes=64,
+            )
+            started = time.perf_counter()
+            batch_result = batch.run_span(0, runs, 1)
+            elapsed = time.perf_counter() - started
+            if batch_seconds is None or elapsed < batch_seconds:
+                batch_seconds = elapsed
 
-        check(
-            batch_result.counts == codegen_result.counts,
-            f"{name}: 64-lane cold campaign counts bit-identical",
-        )
+            check(
+                batch_result.counts == codegen_result.counts,
+                f"{name}: 64-lane cold campaign counts bit-identical",
+            )
         speedups.append(codegen_seconds / batch_seconds)
         print(f"   {name}: codegen {codegen_seconds:.2f}s, batch "
               f"{batch_seconds:.2f}s ({speedups[-1]:.2f}x)")
@@ -350,7 +379,7 @@ def main() -> None:
     parser.add_argument("--fi-checkpoint-runs", type=int, default=1000)
     parser.add_argument("--interp-codegen-speedup", type=float, default=2.0)
     parser.add_argument("--interp-campaign-runs", type=int, default=600)
-    parser.add_argument("--batch-tier-speedup", type=float, default=2.0)
+    parser.add_argument("--batch-tier-speedup", type=float, default=2.5)
     parser.add_argument("--batch-campaign-runs", type=int, default=1000)
     args = parser.parse_args()
 

@@ -28,6 +28,7 @@ from .dominators import (
     compute_postdominators,
     dominates,
     immediate_dominators,
+    postdominators,
 )
 from .loops import Loop, LoopInfo, find_back_edges, find_natural_loops
 
@@ -38,6 +39,7 @@ __all__ = [
     "TERMINAL_STORE_ADDR", "TERMINAL_TRUNCATED", "VIRTUAL_EXIT",
     "compute_dominators", "compute_postdominators", "dominates",
     "exit_blocks", "find_back_edges", "find_natural_loops",
-    "immediate_dominators", "paths_from_instruction", "predecessor_map",
-    "reachable_blocks", "reverse_postorder", "sequence_of",
+    "immediate_dominators", "paths_from_instruction", "postdominators",
+    "predecessor_map", "reachable_blocks", "reverse_postorder",
+    "sequence_of",
 ]

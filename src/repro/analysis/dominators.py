@@ -104,6 +104,45 @@ def compute_postdominators(function: Function) -> dict[BasicBlock, set]:
     return postdoms
 
 
+def postdominators(function: Function) -> dict[BasicBlock, object]:
+    """Immediate post-dominator of each block.
+
+    Maps every block to its closest strict post-dominator: another
+    block, :data:`VIRTUAL_EXIT` when the virtual exit is the nearest
+    one (exit blocks, and branch blocks whose two arms return
+    separately), or ``None`` for blocks that cannot reach an exit at
+    all.  The ``None`` case needs an explicit reachability guard: the
+    set fixpoint in :func:`compute_postdominators` starts from the full
+    node set, so blocks with no path to an exit keep it (the equations
+    are vacuously true there) rather than shrinking to ``{block}``.
+    """
+    postdoms = compute_postdominators(function)
+    preds = predecessor_map(function)
+    work = list(exit_blocks(function))
+    reaches_exit = set(work)
+    while work:
+        block = work.pop()
+        for pred in preds[block]:
+            if pred not in reaches_exit:
+                reaches_exit.add(pred)
+                work.append(pred)
+    ipdom: dict[BasicBlock, object] = {}
+    for block in function.blocks:
+        if block not in reaches_exit:
+            ipdom[block] = None
+            continue
+        strict = postdoms[block] - {block}
+        if not strict:
+            ipdom[block] = None
+            continue
+        # The immediate post-dominator is the strict post-dominator
+        # post-dominated by all the others; VIRTUAL_EXIT's singleton
+        # set makes it the farthest candidate, so ``max`` picks a real
+        # block whenever one exists.
+        ipdom[block] = max(strict, key=lambda d: len(postdoms[d]))
+    return ipdom
+
+
 def dominates(dominators: dict, a: BasicBlock, b: BasicBlock) -> bool:
     """Does block ``a`` dominate block ``b``?"""
     return a in dominators.get(b, set())

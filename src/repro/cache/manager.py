@@ -29,7 +29,11 @@ from weakref import WeakKeyDictionary
 
 from ..analysis.cfg import predecessor_map, reverse_postorder
 from ..analysis.controldep import ControlDependence
-from ..analysis.dominators import compute_dominators, compute_postdominators
+from ..analysis.dominators import (
+    compute_dominators,
+    compute_postdominators,
+    postdominators,
+)
 from ..analysis.loops import LoopInfo
 from ..ir.function import Function
 from ..ir.module import Module
@@ -40,7 +44,7 @@ from .fingerprint import function_fingerprints, module_fingerprint
 #: instructions without changing block shape preserves all of them.
 CFG_SHAPE_ANALYSES = (
     "control_dependence", "loop_info", "dominators", "postdominators",
-    "predecessors", "reverse_postorder",
+    "ipostdominators", "predecessors", "reverse_postorder",
 )
 
 #: Process-wide per-kind counters, aggregated over every manager — the
@@ -81,6 +85,7 @@ class AnalysisManager:
         "loop_info": LoopInfo,
         "dominators": compute_dominators,
         "postdominators": compute_postdominators,
+        "ipostdominators": postdominators,
         "predecessors": predecessor_map,
         "reverse_postorder": reverse_postorder,
     }
@@ -159,6 +164,9 @@ class AnalysisManager:
 
     def postdominators(self, function: Function) -> dict:
         return self.get("postdominators", function)
+
+    def ipostdominators(self, function: Function) -> dict:
+        return self.get("ipostdominators", function)
 
     def invalidate(self) -> None:
         """Drop every cached analysis (manual override)."""

@@ -457,6 +457,12 @@ def _print_campaign_summary(campaign: CampaignResult, out) -> None:
                          + (f", {campaign.batch_fallbacks} fallbacks"
                             if campaign.batch_fallbacks else "") + ")")
             print(tier, file=out)
+            if campaign.interp_tier == TIER_BATCH:
+                print(f"reconvergence: {campaign.batch_reconverged} "
+                      f"branches re-merged, {campaign.batch_drains} "
+                      f"lanes drained "
+                      f"({campaign.drain_fraction * 100:.1f}% of "
+                      f"instructions on the drain path)", file=out)
     _print_cache_summary(out)
 
 

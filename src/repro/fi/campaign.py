@@ -90,6 +90,14 @@ class CampaignResult:
     batch_lanes: int = 0
     batch_divergences: int = 0
     batch_fallbacks: int = 0
+    #: Reconvergence observability: divergent branches whose sides were
+    #: re-merged in lockstep (``batch_reconverged``), lanes that left
+    #: lockstep for the scalar drain anyway (``batch_drains``), and the
+    #: dynamic instructions those drained lanes executed scalar
+    #: (``drain_instructions`` ⊆ ``dynamic_instructions``).
+    batch_reconverged: int = 0
+    batch_drains: int = 0
+    drain_instructions: int = 0
     #: Seed ranges (start, count) whose counts this result includes —
     #: set by the shard scheduler, so an interrupted campaign can report
     #: exactly which runs completed (see ``repro.sched.executor``).
@@ -116,6 +124,14 @@ class CampaignResult:
         if self.total == 0:
             return 0.0
         return self.counts[outcome] / self.total
+
+    @property
+    def drain_fraction(self) -> float:
+        """Share of executed dynamic instructions spent on the scalar
+        drain path — the batch tier's residual divergence cost."""
+        if self.dynamic_instructions <= 0:
+            return 0.0
+        return self.drain_instructions / self.dynamic_instructions
 
     @property
     def sdc_probability(self) -> float:
@@ -171,6 +187,13 @@ class CampaignResult:
             self.batch_divergences + other.batch_divergences
         )
         merged.batch_fallbacks = self.batch_fallbacks + other.batch_fallbacks
+        merged.batch_reconverged = (
+            self.batch_reconverged + other.batch_reconverged
+        )
+        merged.batch_drains = self.batch_drains + other.batch_drains
+        merged.drain_instructions = (
+            self.drain_instructions + other.drain_instructions
+        )
         return merged
 
     # -- artifact-cache serialization ----------------------------------
@@ -193,6 +216,9 @@ class CampaignResult:
             "batch_lanes": self.batch_lanes,
             "batch_divergences": self.batch_divergences,
             "batch_fallbacks": self.batch_fallbacks,
+            "batch_reconverged": self.batch_reconverged,
+            "batch_drains": self.batch_drains,
+            "drain_instructions": self.drain_instructions,
             "completed_ranges": [list(r) for r in self.completed_ranges],
         }
 
@@ -227,6 +253,9 @@ class CampaignResult:
             batch_lanes=int(data.get("batch_lanes", 0)),
             batch_divergences=int(data.get("batch_divergences", 0)),
             batch_fallbacks=int(data.get("batch_fallbacks", 0)),
+            batch_reconverged=int(data.get("batch_reconverged", 0)),
+            batch_drains=int(data.get("batch_drains", 0)),
+            drain_instructions=int(data.get("drain_instructions", 0)),
             completed_ranges=[
                 (int(s), int(c))
                 for s, c in data.get("completed_ranges", [])
@@ -267,6 +296,8 @@ class FaultInjector:
         self.batch_lanes = batch_lanes
         self.batch_divergences = 0
         self.batch_fallbacks = 0
+        self.batch_reconverged = 0
+        self.batch_drains = 0
         self._capture = None
         # ``golden`` may be a cached GoldenSummary (see repro.cache),
         # skipping the fault-free reference execution entirely — the
@@ -550,6 +581,11 @@ class FaultInjector:
             result.skipped_instructions += group.skipped
             self.batch_divergences += group.divergences
             result.batch_divergences += group.divergences
+            self.batch_reconverged += group.reconverged
+            result.batch_reconverged += group.reconverged
+            self.batch_drains += group.drains
+            result.batch_drains += group.drains
+            result.drain_instructions += group.drain_executed
 
     def campaign(self, n: int, seed: int = 0) -> CampaignResult:
         """Statistical campaign: n random faults over the whole program."""

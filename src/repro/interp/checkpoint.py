@@ -33,6 +33,31 @@ import sys
 _ENTRY_BYTES = 60
 
 
+def merge_block_counts(shared: list, delta) -> list:
+    """Dense shared counters plus one lane's sparse ordinal deltas.
+
+    The batch tier's reconvergence sides account block executions as
+    sparse ``{ordinal: extra}`` deltas on top of the group's shared
+    dense array — either one dict or a lane's list of frozen side
+    segments, appended by reference as the lane passes through masked
+    sides.  A lane that leaves the group mid-side (trap, hang, or drain
+    through a synthesized :class:`Snapshot`) needs its *own* per-block
+    view, which is the shared array with its deltas folded in.  Always
+    returns a fresh list — snapshots outlive the group state they were
+    cut from.
+    """
+    counts = list(shared)
+    if delta:
+        if type(delta) is list:
+            for segment in delta:
+                for ordinal, extra in segment.items():
+                    counts[ordinal] += extra
+        else:
+            for ordinal, extra in delta.items():
+                counts[ordinal] += extra
+    return counts
+
+
 class FrameSnap:
     """One suspended activation record inside a snapshot.
 

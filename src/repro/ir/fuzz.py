@@ -38,8 +38,9 @@ from .types import F32, F64, I8, I16, I32, I64
 INT_WIDTHS = (I8, I16, I32, I64)
 ARRAY_LEN = 8
 
-#: Statement kinds, in fixed order (generation draws an index).
-_N_KINDS = 10
+#: Statement kinds, in fixed order (generation draws from the biased
+#: table ``_DRAW`` below).
+_N_KINDS = 12
 
 
 class _Rng:
@@ -245,7 +246,7 @@ class _Context:
 
 
 def _emit_statement(ctx: _Context, rng: _Rng) -> None:
-    _STATEMENTS[rng.below(_N_KINDS)](ctx, rng)
+    _STATEMENTS[rng.choice(_DRAW)](ctx, rng)
 
 
 def _stmt_int_arith(ctx: _Context, rng: _Rng) -> None:
@@ -405,6 +406,67 @@ def _stmt_branchy(ctx: _Context, rng: _Rng) -> None:
     )
 
 
+def _stmt_loop_diamond(ctx: _Context, rng: _Rng) -> None:
+    """A counted loop with a data-dependent if/else in its body — the
+    nested loop-diamond shape the batch tier's reconvergence has to
+    re-merge once per iteration."""
+    f = ctx.f
+    trips = rng.range(2, 5)
+    width = rng.choice(INT_WIDTHS)
+    array, _elem = rng.choice(ctx.arrays[:2])
+    dst, dst_width = ctx.int_dst(rng)
+    threshold = rng.range(0, 99)
+    predicate = rng.choice(("slt", "ult", "sgt"))
+    step = rng.range(1, 9)
+    shift = rng.range(1, 3)
+    offset = rng.below(ARRAY_LEN)
+
+    def body(i):
+        cell = array[(i + offset) & (ARRAY_LEN - 1)].to_int(I64)
+        cond = f.wrap(f.b.icmp(
+            predicate, cell.value, f.c(threshold, I64).value
+        ))
+        f.if_(
+            lambda: cond,
+            lambda: dst.set(dst.get() + step),
+            lambda: dst.set(dst.get() >> shift),
+        )
+
+    f.for_range(0, trips, body, name=f"ld{trips}")
+
+
+def _stmt_nested_diamond(ctx: _Context, rng: _Rng) -> None:
+    """An if/else whose taken arm branches again on different data:
+    two-level mask nesting for the reconvergence stack."""
+    f = ctx.f
+    width = rng.choice(INT_WIDTHS)
+    a = ctx.int_value(rng, width)
+    b = ctx.int_value(rng, width)
+    outer = f.wrap(f.b.icmp(
+        rng.choice(("slt", "eq", "ugt")), a.value, b.value
+    ))
+    dst, dst_width = ctx.int_dst(rng)
+    other, _w = ctx.int_dst(rng)
+    bump = rng.range(1, 99)
+    shift = rng.range(1, 7)
+
+    def inner():
+        cond = f.wrap(f.b.icmp(
+            "slt", dst.get().value, other.get().to_int(dst_width).value
+        ))
+        f.if_(
+            lambda: cond,
+            lambda: dst.set(dst.get() + bump),
+            lambda: dst.set(dst.get() >> shift),
+        )
+
+    f.if_(
+        lambda: outer,
+        inner,
+        lambda: dst.set(dst.get() ^ bump),
+    )
+
+
 def _stmt_out(ctx: _Context, rng: _Rng) -> None:
     if rng.below(2):
         local, _w = rng.choice(ctx.int_locals)
@@ -425,6 +487,17 @@ _STATEMENTS = (
     _stmt_loop_acc,
     _stmt_branchy,
     _stmt_out,
+    _stmt_loop_diamond,
+    _stmt_nested_diamond,
 )
 
 assert len(_STATEMENTS) == _N_KINDS
+
+#: Generation draw table, biased toward branch-dense shapes: divergence
+#: and reconvergence are where cross-tier bugs live, so diamonds (plain,
+#: in-loop, and nested) are oversampled relative to straight-line kinds.
+_DRAW = tuple(range(_N_KINDS)) + (
+    _STATEMENTS.index(_stmt_branchy),
+    _STATEMENTS.index(_stmt_loop_diamond),
+    _STATEMENTS.index(_stmt_nested_diamond),
+)

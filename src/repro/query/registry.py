@@ -62,6 +62,7 @@ CFG_QUERY_OF = {
     "reverse_postorder": "cfg.reverse_postorder",
     "dominators": "cfg.dominators",
     "postdominators": "cfg.postdominators",
+    "ipostdominators": "cfg.ipostdominators",
     "control_dependence": "cfg.control_dependence",
     "loop_info": "cfg.loop_info",
 }
@@ -71,6 +72,8 @@ for _kind, _deps, _desc in (
     ("reverse_postorder", (), "reverse postorder block ordering"),
     ("dominators", (), "dominator sets per block"),
     ("postdominators", (), "post-dominator sets per block"),
+    ("ipostdominators", ("cfg.postdominators",),
+     "immediate post-dominator per block (batch-tier reconvergence)"),
     ("control_dependence", ("cfg.postdominators",),
      "branch -> governed blocks (per direction)"),
     ("loop_info", ("cfg.dominators", "cfg.predecessors"),

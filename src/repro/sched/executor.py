@@ -196,6 +196,9 @@ class CampaignExecutor:
         )
         result.batch_divergences += perf.get("batch_divergences", 0)
         result.batch_fallbacks += perf.get("batch_fallbacks", 0)
+        result.batch_reconverged += perf.get("batch_reconverged", 0)
+        result.batch_drains += perf.get("batch_drains", 0)
+        result.drain_instructions += perf.get("drain_instructions", 0)
         result.completed_ranges.append((shard.start, shard.count))
         if resumed:
             result.shards_resumed += 1

@@ -154,6 +154,9 @@ class Scheduler:
         self.counters = {
             "submitted": 0, "cache_hits": 0, "coalesced": 0,
             "rejected": 0, "completed": 0, "failed": 0,
+            # Aggregated batch-tier reconvergence telemetry from every
+            # completed job (surfaced over /v1/stats).
+            "batch_reconverged": 0, "batch_drains": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -254,6 +257,12 @@ class Scheduler:
         else:
             job.resolve(JOB_DONE, result=result)
             self.counters["completed"] += 1
+            self.counters["batch_reconverged"] += getattr(
+                result, "batch_reconverged", 0
+            )
+            self.counters["batch_drains"] += getattr(
+                result, "batch_drains", 0
+            )
         finally:
             with self._lock:
                 if self._active.get(job.key) is job:

@@ -70,6 +70,9 @@ def span_perf(result) -> dict:
         "batch_lanes": result.batch_lanes,
         "batch_divergences": result.batch_divergences,
         "batch_fallbacks": result.batch_fallbacks,
+        "batch_reconverged": result.batch_reconverged,
+        "batch_drains": result.batch_drains,
+        "drain_instructions": result.drain_instructions,
     }
 
 

@@ -79,6 +79,71 @@ def store_module():
     return _finish(f, module), probe.value
 
 
+def nested_branch_module():
+    """A diamond inside a diamond: the outer flip diverges one lane, and
+    inside that side a second data-dependent branch splits again —
+    exercising two levels of the reconvergence mask stack."""
+    module = Module("batch_nested")
+    f = FunctionBuilder(module, "main")
+    x = f.local("x", I32, 4)
+    probe = x.get() + 1
+    acc = f.local("acc", I32, 0)
+
+    def outer_then():
+        f.if_(
+            x.get() > f.c(2),
+            lambda: acc.set(acc.get() + 10),
+            lambda: acc.set(acc.get() + 20),
+        )
+        f.out(acc.get())
+
+    f.if_(probe > f.c(100), outer_then, lambda: acc.set(acc.get() + 1))
+    f.out(acc.get())
+    return _finish(f, module), probe.value
+
+
+def side_loop_module():
+    """The divergent arm contains a loop (``while_`` over predeclared
+    locals, so the region stays alloca-free and mergeable): a lane
+    parked into the side executes far more instructions than the
+    majority — the shape that exposes per-lane dynamic-count deltas
+    and hang scans."""
+    module = Module("batch_side_loop")
+    f = FunctionBuilder(module, "main")
+    x = f.local("x", I32, 4)
+    probe = x.get() + 1
+    acc = f.local("acc", I32, 0)
+    j = f.local("j", I32, 0)
+
+    def spin():
+        f.while_(
+            lambda: j.get() < f.c(40),
+            lambda: (acc.set(acc.get() + j.get()), j.set(j.get() + 1)),
+        )
+
+    f.if_(probe > f.c(100), spin, lambda: acc.set(acc.get() + 1))
+    f.out(acc.get())
+    return _finish(f, module), probe.value
+
+
+def alloca_region_module():
+    """An alloca inside the divergent region forces the drain fallback
+    (the batch memory image cannot give lanes distinct stack cursors)."""
+    module = Module("batch_alloca_region")
+    f = FunctionBuilder(module, "main")
+    x = f.local("x", I32, 4)
+    probe = x.get() + 1
+
+    def arm_with_alloca():
+        tmp = f.array("tmp", I32, 2)
+        tmp[0] = x.get()
+        f.out(tmp[0].to_int(I32))
+
+    f.if_(probe > f.c(100), arm_with_alloca, lambda: f.out(f.c(0)))
+    f.out(x.get())
+    return _finish(f, module), probe.value
+
+
 def _scalar_reference(module, injection):
     return ExecutionEngine(module, tier=TIER_CODEGEN).run(injection=injection)
 
@@ -91,17 +156,112 @@ def _assert_lane_matches(lane_result, reference):
     assert lane_result.block_counts == reference.block_counts
 
 
-def test_branch_divergence_peels_one_lane():
+def test_branch_divergence_reconverges_without_drain():
+    """The default path: a lone lane takes the other arm of an if/else,
+    parks at the join block, and re-merges — no scalar drain at all."""
     module, probe = branch_module()
     engine = ExecutionEngine(module, tier=TIER_BATCH)
     injection = Injection(probe.iid, 1, 30)  # 5 -> 2**30 + 5: other arm
     trials = [None, injection, None, None]
     group = engine.batch_runner().run_group(trials)
     assert len(group.results) == 4
-    assert group.divergences == 1
+    assert group.reconverged >= 1
+    assert group.drains == 0
+    assert group.drain_executed == 0
+    assert group.divergences == 0
     golden = engine.golden()
     reference = _scalar_reference(module, injection)
     assert reference.outputs != golden.outputs  # the flip really branched
+    for lane, result in enumerate(group.results):
+        expected = reference if trials[lane] is injection else golden
+        _assert_lane_matches(result, expected)
+
+
+def test_branch_divergence_peels_one_lane(monkeypatch):
+    """With reconvergence disabled the old contract holds: the minority
+    lane is peeled onto the scalar drain."""
+    monkeypatch.setenv("REPRO_BATCH_RECONVERGE", "0")
+    module, probe = branch_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    injection = Injection(probe.iid, 1, 30)
+    trials = [None, injection, None, None]
+    group = engine.batch_runner().run_group(trials)
+    assert len(group.results) == 4
+    assert group.divergences == 1
+    assert group.drains == 1
+    assert group.reconverged == 0
+    golden = engine.golden()
+    reference = _scalar_reference(module, injection)
+    for lane, result in enumerate(group.results):
+        expected = reference if trials[lane] is injection else golden
+        _assert_lane_matches(result, expected)
+
+
+def test_nested_divergence_reconverges_both_levels():
+    module, probe = nested_branch_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    injection = Injection(probe.iid, 1, 30)
+    trials = [None, injection, None, None, None]
+    group = engine.batch_runner().run_group(trials)
+    assert group.reconverged >= 1
+    assert group.drains == 0
+    golden = engine.golden()
+    reference = _scalar_reference(module, injection)
+    assert reference.outputs != golden.outputs
+    for lane, result in enumerate(group.results):
+        expected = reference if trials[lane] is injection else golden
+        _assert_lane_matches(result, expected)
+
+
+def test_side_loop_keeps_per_lane_dynamic_counts():
+    """A lane that runs a loop inside its side must report its own
+    (much larger) dynamic count while the majority keeps the shared one."""
+    module, probe = side_loop_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    injection = Injection(probe.iid, 1, 30)
+    trials = [None, injection, None]
+    group = engine.batch_runner().run_group(trials)
+    assert group.reconverged >= 1
+    assert group.drains == 0
+    golden = engine.golden()
+    reference = _scalar_reference(module, injection)
+    assert reference.dynamic_count > golden.dynamic_count
+    for lane, result in enumerate(group.results):
+        expected = reference if trials[lane] is injection else golden
+        _assert_lane_matches(result, expected)
+
+
+def test_hang_inside_side_matches_scalar_budget():
+    """The injected lane loops inside its side past a tight budget: it
+    must hang with exactly the scalar tier's count and message while the
+    other lanes finish OK."""
+    module, probe = side_loop_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    injection = Injection(probe.iid, 1, 30)
+    budget = engine.golden().dynamic_count + 20
+    reference = ExecutionEngine(module, tier=TIER_CODEGEN).run(
+        injection=injection, budget=budget
+    )
+    assert reference.outcome == "hang"
+    group = engine.batch_runner().run_group(
+        [None, injection, None], budget=budget
+    )
+    _assert_lane_matches(group.results[1], reference)
+    for lane in (0, 2):
+        assert group.results[lane].outcome == OK
+
+
+def test_alloca_in_region_falls_back_to_drain():
+    module, probe = alloca_region_module()
+    engine = ExecutionEngine(module, tier=TIER_BATCH)
+    injection = Injection(probe.iid, 1, 30)
+    trials = [None, injection, None, None]
+    group = engine.batch_runner().run_group(trials)
+    assert group.reconverged == 0
+    assert group.drains == 1
+    assert group.divergences == 1
+    golden = engine.golden()
+    reference = _scalar_reference(module, injection)
     for lane, result in enumerate(group.results):
         expected = reference if trials[lane] is injection else golden
         _assert_lane_matches(result, expected)
@@ -188,8 +348,30 @@ def test_campaign_counts_match_scalar_tiers_and_count_divergences():
         assert batch.counts == reference.counts
         assert batch.batch_lanes == lanes
         assert batch.batch_fallbacks == 0
-    # Multi-lane groups over a branchy module must have peeled someone.
+    # Multi-lane groups over a branchy module must have reconverged a
+    # divergent branch somewhere, and this module's if/else regions are
+    # all mergeable — nothing should fall back to the scalar drain.
+    assert batch.batch_reconverged > 0
+    assert batch.batch_drains == 0
+    assert batch.drain_fraction == 0.0
+
+
+def test_campaign_peel_mode_counts_divergences(monkeypatch):
+    """REPRO_BATCH_RECONVERGE=0 restores drain-only divergence handling
+    with identical outcome counts."""
+    monkeypatch.setenv("REPRO_BATCH_RECONVERGE", "0")
+    module, _probe = branch_module()
+    reference = FaultInjector(
+        module, interp_tier=TIER_CODEGEN, checkpoint=False
+    ).campaign(80, seed=3)
+    batch = FaultInjector(
+        module, interp_tier=TIER_BATCH, checkpoint=False, batch_lanes=8,
+    ).campaign(80, seed=3)
+    assert batch.counts == reference.counts
     assert batch.batch_divergences > 0
+    assert batch.batch_drains > 0
+    assert batch.batch_reconverged == 0
+    assert batch.drain_fraction > 0.0
 
 
 def test_numpy_absence_degrades_to_codegen(monkeypatch):
